@@ -1,0 +1,123 @@
+package anton2
+
+import (
+	"testing"
+
+	"anton2/internal/area"
+	"anton2/internal/packaging"
+	"anton2/internal/topo"
+)
+
+// These tests exercise the public facade end to end at small scale; the
+// heavy per-figure regeneration lives in bench_test.go.
+
+func TestFacadeDeadlockFree(t *testing.T) {
+	if err := VerifyDeadlockFree(NewShape(3, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWorstCaseSearch(t *testing.T) {
+	results := WorstCaseSearch()
+	if len(results) != 24 {
+		t.Fatalf("got %d direction orders, want 24", len(results))
+	}
+	best := results[0].WorstLoad
+	for _, r := range results {
+		if r.WorstLoad < best {
+			best = r.WorstLoad
+		}
+	}
+	if best != 2.0 {
+		t.Errorf("best worst-case load = %g, want 2.0", best)
+	}
+}
+
+func TestFacadeAreaBreakdown(t *testing.T) {
+	t1 := AreaBreakdown().Table1()
+	total := t1[area.Router] + t1[area.EndpointAdapter] + t1[area.ChannelAdapter]
+	if total <= 8 || total >= 10 {
+		t.Errorf("network die share %.2f%%, want ~9.2%%", total)
+	}
+}
+
+func TestFacadePackaging(t *testing.T) {
+	plan, err := PackagingPlan(NewShape(8, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumBackplanes() != 32 || plan.NumRacks() != 4 {
+		t.Errorf("512-node plan: %d backplanes, %d racks; want 32, 4", plan.NumBackplanes(), plan.NumRacks())
+	}
+	if _, err := PackagingPlan(NewShape(5, 4, 4)); err == nil {
+		t.Error("non-tiling shape must be rejected")
+	}
+}
+
+func TestFacadeMulticast(t *testing.T) {
+	shape := NewShape(8, 8, 8)
+	root := NodeCoord{X: 2, Y: 2, Z: 2}
+	dests := []NodeEp{
+		{Node: shape.NodeID(NodeCoord{X: 3, Y: 2, Z: 2}), Ep: 0},
+		{Node: shape.NodeID(NodeCoord{X: 3, Y: 3, Z: 2}), Ep: 0},
+		{Node: shape.NodeID(NodeCoord{X: 2, Y: 3, Z: 2}), Ep: 0},
+	}
+	tree := MulticastTree(shape, root, dests, topo.AllDimOrders[0])
+	if tree.TorusHops() >= 4 {
+		t.Errorf("tree uses %d hops for an L of 3 neighbors; prefix sharing failed", tree.TorusHops())
+	}
+	if s := MulticastSavings(shape, root, dests, topo.AllDimOrders[0]); s < 1 {
+		t.Errorf("savings = %d, want at least 1", s)
+	}
+	table := CompileMulticast(shape, tree)
+	if table.TotalDeliveries() != len(dests) {
+		t.Errorf("compiled table delivers %d copies, want %d", table.TotalDeliveries(), len(dests))
+	}
+}
+
+// TestFacadeSimulatedMulticast drives a compiled table through a machine via
+// the public API.
+func TestFacadeSimulatedMulticast(t *testing.T) {
+	shape := NewShape(4, 4, 1)
+	root := NodeCoord{X: 1, Y: 1, Z: 0}
+	var dests []NodeEp
+	for _, off := range [][2]int{{1, 0}, {0, 1}, {1, 1}, {-1, 0}} {
+		c := shape.Wrap(NodeCoord{X: root.X + off[0], Y: root.Y + off[1]})
+		dests = append(dests, NodeEp{Node: shape.NodeID(c), Ep: 0})
+	}
+	tree := MulticastTree(shape, root, dests, topo.AllDimOrders[0])
+	cfg := DefaultConfig(shape)
+	cfg.Multicast = map[int]*MulticastTable{1: CompileMulticast(shape, tree)}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NodeEp{Node: shape.NodeID(root), Ep: 0}
+	want := m.InjectMulticast(src, 1, 0, 0)
+	if _, err := m.RunUntilDelivered(uint64(want), 200_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEnergyModel(t *testing.T) {
+	if PaperEnergyModel.Fixed != 42.7 {
+		t.Errorf("paper model fixed energy = %v", PaperEnergyModel.Fixed)
+	}
+	e := PaperEnergyModel.FlitEnergy(0, 0, 0)
+	if e != 42.7 {
+		t.Errorf("back-to-back zero-payload flit = %v pJ", e)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if CyclesToNS(3) < 1.9 || CyclesToNS(3) > 2.1 {
+		t.Errorf("3 cycles = %v ns, want ~2 at 1.5 GHz", CyclesToNS(3))
+	}
+	if Tornado().Name() != "tornado" || ReverseTornado().Name() != "reverse-tornado" {
+		t.Error("pattern constructors mislabeled")
+	}
+	// Packaging constants from the paper.
+	if packaging.NodesPerBackplane != 16 || packaging.MaxNodes != 4096 {
+		t.Error("packaging constants do not match Figure 2")
+	}
+}

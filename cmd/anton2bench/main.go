@@ -1,0 +1,314 @@
+// Command anton2bench regenerates the paper's evaluation: every table and
+// figure of Section 4 plus the Section 2.4 routing analysis, printing the
+// paper's reported numbers next to this reproduction's measurements.
+//
+// Usage:
+//
+//	anton2bench [-quick] [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
+//
+// Without -quick, the saturation experiments run on an 8x4x2 machine with
+// batches up to 1024 packets per core (minutes); -quick shrinks them to
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anton2/internal/area"
+	"anton2/internal/core"
+	"anton2/internal/deadlock"
+	"anton2/internal/machine"
+	"anton2/internal/multicast"
+	"anton2/internal/packaging"
+	"anton2/internal/power"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+	"anton2/internal/wctraffic"
+)
+
+var quick = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+
+func main() {
+	flag.Parse()
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	run := map[string]func(){
+		"fig4": fig4, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+		"fig12": fig12, "fig13": fig13, "table1": table1, "table2": table2,
+		"fig3": fig3, "fig2": fig2, "deadlock": deadlockCheck,
+	}
+	if what == "all" {
+		for _, name := range []string{"fig4", "deadlock", "fig2", "fig3", "table1", "table2", "fig12", "fig13", "fig11", "fig9", "fig10"} {
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q\n", what)
+		os.Exit(1)
+	}
+	f()
+}
+
+func satShape() topo.TorusShape {
+	if *quick {
+		return topo.Shape3(4, 4, 2)
+	}
+	return topo.Shape3(8, 4, 2)
+}
+
+func header(title, paper string) {
+	fmt.Println(title)
+	for range title {
+		fmt.Print("-")
+	}
+	fmt.Println()
+	fmt.Println("paper:   ", paper)
+}
+
+func fig4() {
+	header("Figure 4 / permutation (1): worst-case on-chip switching",
+		"optimized direction order limits worst-case mesh load to 2 torus channels")
+	chip := topo.DefaultChip()
+	winners, best := wctraffic.Best(chip, wctraffic.DefaultPolicy)
+	_, throughOnly := wctraffic.Best(chip, wctraffic.Policy{Through: true})
+	fmt.Printf("measured: best worst-case load %.1f (through-only skips: %.1f)\n", best, throughOnly)
+	fmt.Printf("          %d of 24 direction orders achieve it; default %v", len(winners), topo.DefaultDirOrder)
+	for _, w := range winners {
+		if w.Order == topo.DefaultDirOrder {
+			fmt.Printf(" is among them")
+			break
+		}
+	}
+	fmt.Println()
+	def := wctraffic.Evaluate(chip, topo.DefaultDirOrder, wctraffic.DefaultPolicy)
+	fmt.Printf("          worst-case permutation under the default order:\n")
+	fmt.Printf("            in:  X+  X-  Y+  Y-  Z+  Z-\n            out:")
+	for _, d := range def.WorstPerm {
+		fmt.Printf(" %3v", d)
+	}
+	fmt.Println()
+}
+
+func deadlockCheck() {
+	header("Section 2.5: VC schemes", "Anton scheme needs n+1=4 T-group VCs per class (vs 2n=6), deadlock-free")
+	shape := topo.Shape3(4, 4, 4)
+	for _, s := range []route.Scheme{route.AntonScheme{}, route.BaselineScheme{}} {
+		cfg := route.NewConfig(topo.MustMachine(shape))
+		cfg.Scheme = s
+		err := deadlock.Verify(cfg, deadlock.Options{})
+		verdict := "deadlock-free"
+		if err != nil {
+			verdict = "CYCLE FOUND"
+		}
+		fmt.Printf("measured: %-12s T:%d M:%d VCs/class on %v -> %s\n", s.Name(), s.TorusVCs(), s.MeshVCs(), shape, verdict)
+	}
+}
+
+func fig2() {
+	header("Figure 2: packaging", "512 nodes = 32 backplanes (16 nodecards each) in 4 racks")
+	plan, err := packaging.Build(topo.Shape3(8, 8, 8))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("measured: %d backplanes in %d racks; media:\n", plan.NumBackplanes(), plan.NumRacks())
+	stats := plan.Stats()
+	for _, m := range []packaging.Medium{packaging.BackplaneTrace, packaging.IntraRackCable, packaging.InterRackCable} {
+		s := stats[m]
+		l := packaging.Link{Medium: m, LengthCM: s.TotalCM / float64(s.Links)}
+		fmt.Printf("            %-18s %5d links, latency %2d cycles\n", m, s.Links, l.LatencyCycles())
+	}
+}
+
+func fig3() {
+	header("Figure 3: multicast", "broadcast to a plane neighborhood saves 12 torus hops vs unicast")
+	shape := topo.Shape3(8, 8, 8)
+	root := topo.NodeCoord{X: 4, Y: 4, Z: 4}
+	dests := multicast.PlaneNeighborhood(shape, root, topo.DimX, topo.DimY, 1, 0)
+	tree := multicast.Build(shape, root, dests, topo.AllDimOrders[0], 0)
+	uni := multicast.UnicastHops(shape, root, dests)
+	fmt.Printf("measured: 8-node plane neighborhood: unicast %d hops, multicast tree %d hops, saved %d\n",
+		uni, tree.TorusHops(), uni-tree.TorusHops())
+	two := multicast.PlaneNeighborhood(shape, root, topo.DimX, topo.DimY, 1, 5)
+	both := append(append([]topo.NodeEp(nil), dests...), two...)
+	treeB := multicast.Build(shape, root, both, topo.AllDimOrders[0], 0)
+	uniB := multicast.UnicastHops(shape, root, both)
+	fmt.Printf("          with 2 endpoint copies per node: unicast %d, tree %d, saved %d (savings multiply)\n",
+		uniB, treeB.TorusHops(), uniB-treeB.TorusHops())
+}
+
+func table1() {
+	header("Table 1: component die area", "router 3.4%, endpoint adapter 1.1%, channel adapter 4.7%")
+	t1 := area.Compute(area.Default()).Table1()
+	fmt.Printf("measured: router %.1f%%, endpoint adapter %.1f%%, channel adapter %.1f%% (total %.1f%% < 10%%)\n",
+		t1[area.Router], t1[area.EndpointAdapter], t1[area.ChannelAdapter],
+		t1[area.Router]+t1[area.EndpointAdapter]+t1[area.ChannelAdapter])
+}
+
+func table2() {
+	header("Table 2: network area by category",
+		"queues 46.6, reduction 9.6, link 8.9, config 8.6, debug 7.8, misc 7.3, multicast 5.7, arbiters 5.4 (%)")
+	byComp, total := area.Compute(area.Default()).Table2()
+	fmt.Printf("measured: %-14s %8s %9s %8s %7s\n", "category", "router", "endpoint", "channel", "total")
+	for k := area.Category(0); k < area.NumCategories; k++ {
+		fmt.Printf("          %-14s %8.1f %9.1f %8.1f %7.1f\n",
+			k, byComp[area.Router][k], byComp[area.EndpointAdapter][k], byComp[area.ChannelAdapter][k], total[k])
+	}
+	cfg := area.Default()
+	cfg.Scheme = route.BaselineScheme{}
+	growth := area.Compute(cfg).NetworkTotal()/area.Compute(area.Default()).NetworkTotal() - 1
+	fmt.Printf("          ablation: baseline 2n-VC scheme costs +%.1f%% network area\n", 100*growth)
+}
+
+func fig12() {
+	header("Figure 12: minimum-latency decomposition", "99 ns nearest-neighbor one-way; network only ~40%")
+	cfg := core.DefaultLatencyConfig(topo.Shape3(4, 4, 4))
+	comps := core.DecomposeMinLatency(cfg)
+	var total, network float64
+	for _, c := range comps {
+		total += c.NS
+		if c.Name != "software send" && c.Name != "sync + handler dispatch" {
+			network += c.NS
+		}
+	}
+	fmt.Println("analytic budget:")
+	for _, c := range comps {
+		fmt.Printf("          %-30s %5.1f ns\n", c.Name, c.NS)
+	}
+	fmt.Printf("          total %.1f ns, network share %.0f%%\n", total, 100*network/total)
+	if traced, err := core.MeasureDecomposition(cfg); err == nil {
+		fmt.Println("traced packet (simulated):")
+		for _, c := range traced {
+			fmt.Printf("          %-30s %5.1f ns\n", c.Name, c.NS)
+		}
+		fmt.Printf("          total %.1f ns\n", core.TotalNS(traced))
+	}
+}
+
+func fig13() {
+	header("Figure 13: router energy vs injection rate",
+		"E = 42.7 + 0.837h + (34.4 + 0.250n)(a/r) pJ; energy falls as rate rises past 0.5")
+	mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
+	flits := 1200
+	if *quick {
+		flits = 400
+	}
+	rates := [][2]int{{1, 8}, {1, 4}, {1, 2}, {5, 8}, {3, 4}, {7, 8}, {1, 1}}
+	var all []core.EnergyPoint
+	fmt.Printf("measured: %-7s", "rate")
+	for _, r := range rates {
+		fmt.Printf(" %6.3f", float64(r[0])/float64(r[1]))
+	}
+	fmt.Println()
+	for _, payload := range []core.PayloadKind{core.PayloadZeros, core.PayloadOnes, core.PayloadRandom} {
+		pts, err := core.EnergySweep(mc, power.PaperModel, payload, rates, flits)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("          %-7s", payload)
+		for _, p := range pts {
+			fmt.Printf(" %6.1f", p.PerFlitPJ)
+		}
+		fmt.Println(" pJ/flit")
+		all = append(all, pts...)
+	}
+	m := core.FitEnergyModel(all)
+	fmt.Printf("          refit: E = %.1f + %.3fh + (%.1f + %.3fn)(a/r) pJ\n",
+		m.Fixed, m.PerBitFlip, m.PerActivation, m.PerActSetBit)
+}
+
+func fig11() {
+	header("Figure 11: one-way latency vs hops", "80.7 ns fixed + 39.1 ns/hop; minimum 99 ns")
+	// 4x4x4 keeps the run in seconds; the fit quality does not depend on
+	// the maximum hop count (the paper's 8x8x8 reaches 12 hops).
+	shape := topo.Shape3(4, 4, 4)
+	if *quick {
+		shape = topo.Shape3(4, 4, 2)
+	}
+	cfg := core.DefaultLatencyConfig(shape)
+	res, err := core.RunLatency(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("measured: %.1f ns fixed + %.1f ns/hop (r2=%.4f); minimum %.1f ns on %v\n",
+		res.InterceptNS, res.SlopeNS, res.R2, res.MinNS, shape)
+	for _, p := range res.Points {
+		fmt.Printf("          hops=%2d  %6.1f ns\n", p.Hops, p.MeanNS)
+	}
+}
+
+func fig9() {
+	header("Figure 9: throughput beyond saturation",
+		"RR: uniform falls below 60%; IW: ~90% stable (8x8x8, weights from uniform loads)")
+	batches := []int{64, 256, 1024}
+	if *quick {
+		batches = []int{32, 128}
+	}
+	for _, pat := range []traffic.Pattern{traffic.NHop{N: 2}, traffic.Uniform{}} {
+		for _, arb := range []struct {
+			name string
+			iw   bool
+		}{{"round-robin", false}, {"inverse-weighted", true}} {
+			mc := machine.DefaultConfig(satShape())
+			if arb.iw {
+				mc.Arbiter = 1
+			}
+			rs, err := core.ThroughputSweep(core.ThroughputConfig{
+				Machine:        mc,
+				Pattern:        pat,
+				WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
+			}, batches)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("measured: %-8s %-16s on %v:", pat.Name(), arb.name, satShape())
+			for _, r := range rs {
+				fmt.Printf("  batch %4d: %.3f (fair %.3f)", r.Batch, r.Normalized, r.Fairness)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fig10() {
+	header("Figure 10: blending tornado and reverse tornado",
+		"Both-weights ~85% across all blends; single weights fall off away from their pattern; None lowest")
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	batch := 256
+	if *quick {
+		fractions = []float64{0, 0.5, 1}
+		batch = 96
+	}
+	fmt.Printf("measured: %-8s", "weights")
+	for _, f := range fractions {
+		fmt.Printf("  f=%.2f", f)
+	}
+	fmt.Println("   (f = tornado fraction)")
+	for _, mode := range []core.WeightMode{core.WeightsNone, core.WeightsForward, core.WeightsReverse, core.WeightsBoth} {
+		rs, err := core.BlendSweep(core.BlendConfig{
+			Machine: machine.DefaultConfig(satShape()),
+			Weights: mode,
+			Batch:   batch,
+		}, fractions)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("          %-8v", mode)
+		for _, r := range rs {
+			fmt.Printf("  %6.3f", r.Normalized)
+		}
+		fmt.Println()
+	}
+}

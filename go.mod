@@ -1,0 +1,3 @@
+module anton2
+
+go 1.22

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/arbiter"
+	"anton2/internal/loadcalc"
+	"anton2/internal/machine"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// WeightMode selects how arbiter weights are programmed for the Figure 10
+// blending experiment.
+type WeightMode int
+
+// Figure 10 weight configurations.
+const (
+	// WeightsNone uses round-robin arbitration throughout.
+	WeightsNone WeightMode = iota
+	// WeightsForward programs a single weight set from the tornado
+	// pattern's loads.
+	WeightsForward
+	// WeightsReverse programs a single weight set from reverse tornado.
+	WeightsReverse
+	// WeightsBoth programs both patterns' weights; packets carry their
+	// pattern label.
+	WeightsBoth
+)
+
+func (w WeightMode) String() string {
+	return [...]string{"None", "Forward", "Reverse", "Both"}[w]
+}
+
+// BlendConfig describes one Figure 10 measurement: each core's batch is
+// divided between tornado and reverse-tornado traffic.
+type BlendConfig struct {
+	Machine machine.Config
+	// ForwardFraction of packets follow tornado; the rest follow reverse
+	// tornado.
+	ForwardFraction float64
+	Weights         WeightMode
+	Batch           int
+	MaxCycles       uint64
+}
+
+// BlendResult is one measured blending point.
+type BlendResult struct {
+	ForwardFraction float64
+	Cycles          uint64
+	Normalized      float64
+}
+
+// RunBlend executes one blend measurement.
+func RunBlend(cfg BlendConfig) (BlendResult, error) {
+	fwd, rev := traffic.Tornado(), traffic.ReverseTornado()
+
+	mcfg := cfg.Machine
+	var weightPats []traffic.Pattern
+	switch cfg.Weights {
+	case WeightsNone:
+		mcfg.Arbiter = arbiter.KindRoundRobin
+	case WeightsForward:
+		weightPats = []traffic.Pattern{fwd}
+	case WeightsReverse:
+		weightPats = []traffic.Pattern{rev}
+	case WeightsBoth:
+		weightPats = []traffic.Pattern{fwd, rev}
+	}
+	if cfg.Weights != WeightsNone {
+		mcfg.Arbiter = arbiter.KindInverseWeighted
+	}
+	m, _, err := BuildMachine(mcfg, weightPats...)
+	if err != nil {
+		return BlendResult{}, err
+	}
+
+	// Normalization: the blend's own saturation rate (load is linear in
+	// the mixing coefficients).
+	fl, err := PatternLoads(cfg.Machine, fwd)
+	if err != nil {
+		return BlendResult{}, err
+	}
+	rl, err := PatternLoads(cfg.Machine, rev)
+	if err != nil {
+		return BlendResult{}, err
+	}
+	satRate := BlendedSaturationRate([]float64{cfg.ForwardFraction, 1 - cfg.ForwardFraction}, []*loadcalc.Loads{fl, rl})
+	if satRate <= 0 {
+		return BlendResult{}, fmt.Errorf("core: degenerate blend saturation")
+	}
+
+	tm := m.Topo
+	cores := tm.Chip.CoreEndpoints()
+	total := uint64(tm.NumNodes() * len(cores) * cfg.Batch)
+
+	// Pattern labels: under single-weight modes every packet is labeled
+	// pattern 0 (there is only one weight set); under Both, tornado
+	// packets are pattern 0 and reverse packets pattern 1.
+	for n := 0; n < tm.NumNodes(); n++ {
+		for _, ep := range cores {
+			src := topo.NodeEp{Node: n, Ep: ep}
+			rng := sim.NewRNG(mcfg.Seed, fmt.Sprintf("blend-src-%d-%d", n, ep))
+			sent := 0
+			nFwd := int(float64(cfg.Batch)*cfg.ForwardFraction + 0.5)
+			m.Endpoint(src).Source = func() *packet.Packet {
+				if sent >= cfg.Batch {
+					return nil
+				}
+				// Interleave forward/reverse sends in proportion.
+				var isFwd bool
+				if nFwd >= cfg.Batch {
+					isFwd = true
+				} else if nFwd <= 0 {
+					isFwd = false
+				} else {
+					isFwd = rng.Float64() < cfg.ForwardFraction
+				}
+				sent++
+				var dst topo.NodeEp
+				var pid uint8
+				if isFwd {
+					dst = fwd.Dest(tm, src, rng)
+					pid = 0
+				} else {
+					dst = rev.Dest(tm, src, rng)
+					if cfg.Weights == WeightsBoth {
+						pid = 1
+					}
+				}
+				return m.MakeRandomPacket(src, dst, route.ClassRequest, pid, rng)
+			}
+		}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		ideal := float64(cfg.Batch) / satRate
+		maxCycles = uint64(60 * ideal)
+		if maxCycles < 300_000 {
+			maxCycles = 300_000
+		}
+	}
+	end, err := m.RunUntilDelivered(total, maxCycles)
+	if err != nil {
+		return BlendResult{}, fmt.Errorf("core: blend run (f=%.2f, %v): %w", cfg.ForwardFraction, cfg.Weights, err)
+	}
+	rate := float64(cfg.Batch) / float64(end)
+	return BlendResult{
+		ForwardFraction: cfg.ForwardFraction,
+		Cycles:          end,
+		Normalized:      rate / satRate,
+	}, nil
+}
+
+// BlendSweep measures a set of blend fractions under one weight mode.
+func BlendSweep(cfg BlendConfig, fractions []float64) ([]BlendResult, error) {
+	out := make([]BlendResult, 0, len(fractions))
+	for _, f := range fractions {
+		c := cfg
+		c.ForwardFraction = f
+		r, err := RunBlend(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/machine"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/stats"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// ThroughputConfig describes one Figure 9 style measurement: every core
+// sends a batch of packets according to a traffic pattern, and throughput is
+// the batch size divided by the time to receive the last packet, normalized
+// so 1.0 means full utilization of the busiest torus channel.
+type ThroughputConfig struct {
+	Machine machine.Config
+	// Pattern generates the measured traffic.
+	Pattern traffic.Pattern
+	// WeightPatterns program the inverse-weighted arbiters (ignored for
+	// round-robin). Figure 9 uses a single set of weights based on
+	// uniform traffic for all measured patterns.
+	WeightPatterns []traffic.Pattern
+	// PatternID labels every packet with this weight-pattern index.
+	PatternID uint8
+	// Batch is the number of packets each core sends.
+	Batch int
+	// MaxCycles bounds the run (0 = a generous default).
+	MaxCycles uint64
+}
+
+// ThroughputResult is one measured point.
+type ThroughputResult struct {
+	Batch  int
+	Cycles uint64
+	// Normalized throughput: measured per-core rate over the analytic
+	// saturation rate.
+	Normalized float64
+	// Torus channel utilization over the whole run (1.0 = full
+	// effective bandwidth).
+	MeanUtilization float64
+	MaxUtilization  float64
+	// Fairness is Jain's index over per-core completion times.
+	Fairness float64
+}
+
+// RunThroughput executes one batch measurement.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	m, _, err := BuildMachine(cfg.Machine, cfg.WeightPatterns...)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	measured, err := PatternLoads(cfg.Machine, cfg.Pattern)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	satRate := measured.SaturationRate()
+	if satRate <= 0 {
+		return ThroughputResult{}, fmt.Errorf("core: pattern %s places no torus load", cfg.Pattern.Name())
+	}
+
+	tm := m.Topo
+	cores := tm.Chip.CoreEndpoints()
+	numCores := tm.NumNodes() * len(cores)
+	total := uint64(numCores * cfg.Batch)
+
+	remaining := make([]int, tm.NumEndpointsTotal())
+	finished := make([]float64, 0, numCores)
+
+	for n := 0; n < tm.NumNodes(); n++ {
+		for _, ep := range cores {
+			src := topo.NodeEp{Node: n, Ep: ep}
+			remaining[tm.EndpointIndex(src)] = cfg.Batch
+			rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("tp-src-%d-%d", n, ep))
+			sent := 0
+			m.Endpoint(src).Source = func() *packet.Packet {
+				if sent >= cfg.Batch {
+					return nil
+				}
+				sent++
+				dst := cfg.Pattern.Dest(tm, src, rng)
+				p := m.MakeRandomPacket(src, dst, route.ClassRequest, cfg.PatternID, rng)
+				return p
+			}
+		}
+	}
+	onDeliver := func(p *packet.Packet, now uint64) bool {
+		i := tm.EndpointIndex(p.Src)
+		remaining[i]--
+		if remaining[i] == 0 {
+			finished = append(finished, float64(now))
+		}
+		return false
+	}
+	for n := 0; n < tm.NumNodes(); n++ {
+		for ep := 0; ep < topo.NumEndpoints; ep++ {
+			m.Endpoint(topo.NodeEp{Node: n, Ep: ep}).OnDeliver = onDeliver
+		}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		// Generous: 50x the ideal completion time, floor 200k cycles.
+		ideal := float64(cfg.Batch) / satRate
+		maxCycles = uint64(50 * ideal)
+		if maxCycles < 200_000 {
+			maxCycles = 200_000
+		}
+	}
+	end, err := m.RunUntilDelivered(total, maxCycles)
+	if err != nil {
+		return ThroughputResult{}, fmt.Errorf("core: throughput run (%s, batch %d): %w", cfg.Pattern.Name(), cfg.Batch, err)
+	}
+
+	rate := float64(cfg.Batch) / float64(end) // packets/cycle/core
+	_, meanU, maxU := m.TorusUtilization(nil, end)
+	return ThroughputResult{
+		Batch:           cfg.Batch,
+		Cycles:          end,
+		Normalized:      rate / satRate,
+		MeanUtilization: meanU,
+		MaxUtilization:  maxU,
+		Fairness:        stats.JainIndex(finished),
+	}, nil
+}
+
+// ThroughputSweep runs a batch-size sweep (one Figure 9 curve).
+func ThroughputSweep(cfg ThroughputConfig, batches []int) ([]ThroughputResult, error) {
+	out := make([]ThroughputResult, 0, len(batches))
+	for _, b := range batches {
+		c := cfg
+		c.Batch = b
+		r, err := RunThroughput(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+// Package fabric models the physical channels of the network: on-chip mesh
+// channels that move one 24-byte flit per cycle, and serialized torus
+// channels whose effective rate (89.6 Gb/s of the 288 Gb/s mesh rate) is
+// captured by a fractional cycles-per-flit occupancy. Flow control is
+// credit-based virtual cut-through: a sender forwards a packet only when the
+// downstream VC buffer has space for all of its flits.
+package fabric
+
+import (
+	"fmt"
+
+	"anton2/internal/packet"
+	"anton2/internal/sim"
+	"anton2/internal/topo"
+)
+
+// RateMilli expresses channel bandwidth in millicycles per flit.
+const (
+	// MeshRateMilli: mesh channels carry one flit per cycle.
+	MeshRateMilli = 1000
+	// TorusRateMilli: effective torus channel bandwidth is 89.6 Gb/s
+	// against the 288 Gb/s mesh channel, i.e. 288/89.6 = 45/14 = 3.214
+	// cycles per 24-byte flit.
+	TorusRateMilli = 3214
+)
+
+type creditMsg struct {
+	vc    uint8
+	flits uint8
+}
+
+// EnergyCounters accumulates the per-channel event counts that feed the
+// router energy model of Section 4.5.
+type EnergyCounters struct {
+	Flits       uint64 // valid flits transferred
+	Activations uint64 // idle->valid transitions
+	HammingSum  uint64 // bit flips between successive valid flits
+	SetBitsSum  uint64 // one bits per flit payload
+}
+
+// Channel is a directed link between two network components with per-VC
+// credit flow control. The sending component owns the credit counters and
+// the occupancy tracking; the receiving component polls arrivals and returns
+// credits as buffer space frees.
+type Channel struct {
+	ID      int // global channel id (topo.Machine space), -1 if synthetic
+	Name    string
+	Group   topo.Group
+	latency uint64
+	rate    uint64 // millicycles per flit
+
+	pkts    *sim.Pipe[*packet.Packet]
+	credits *sim.Pipe[creditMsg]
+
+	credit []int // sender-side available credits per VC, in flits
+
+	busyUntilMilli uint64 // serializer occupancy, in millicycles
+	lastIdleFrom   uint64 // cycle from which the channel has been idle
+
+	// Energy is non-nil when energy tracking is enabled.
+	Energy      *EnergyCounters
+	prevPayload []byte
+	sentAny     bool
+
+	// Sent counts total flits forwarded (always maintained; used for
+	// utilization reporting).
+	Sent uint64
+}
+
+// Config sizes a channel.
+type Config struct {
+	ID            int
+	Name          string
+	Group         topo.Group
+	Latency       uint64 // delivery latency in cycles (>= 1)
+	RateMilli     uint64 // millicycles per flit
+	NumVCs        int
+	BufFlits      int // downstream buffer capacity per VC, in flits
+	CreditLatency uint64
+	TrackEnergy   bool
+}
+
+// New builds a channel with full initial credit for every VC.
+func New(c Config) *Channel {
+	if c.NumVCs < 1 {
+		panic("fabric: channel needs at least one VC")
+	}
+	if c.BufFlits < packet.MaxFlits {
+		panic(fmt.Sprintf("fabric: per-VC buffer %d cannot hold a max-size packet", c.BufFlits))
+	}
+	if c.RateMilli == 0 {
+		c.RateMilli = MeshRateMilli
+	}
+	if c.Latency == 0 {
+		c.Latency = 1
+	}
+	if c.CreditLatency == 0 {
+		c.CreditLatency = 1
+	}
+	ch := &Channel{
+		ID:      c.ID,
+		Name:    c.Name,
+		Group:   c.Group,
+		latency: c.Latency,
+		rate:    c.RateMilli,
+		pkts:    sim.NewPipe[*packet.Packet](c.Latency),
+		credits: sim.NewPipe[creditMsg](c.CreditLatency),
+		credit:  make([]int, c.NumVCs),
+	}
+	for i := range ch.credit {
+		ch.credit[i] = c.BufFlits
+	}
+	if c.TrackEnergy {
+		ch.Energy = &EnergyCounters{}
+	}
+	return ch
+}
+
+// NumVCs returns the channel's physical VC count.
+func (ch *Channel) NumVCs() int { return len(ch.credit) }
+
+// Latency returns the delivery latency in cycles.
+func (ch *Channel) Latency() uint64 { return ch.latency }
+
+// AbsorbCredits drains returned credits into the sender-side counters. The
+// sending component calls this at the top of its Tick.
+func (ch *Channel) AbsorbCredits(now uint64) {
+	for {
+		c, ok := ch.credits.Poll(now)
+		if !ok {
+			return
+		}
+		ch.credit[c.vc] += int(c.flits)
+	}
+}
+
+// Credits returns the sender-side available credit for a VC, in flits.
+func (ch *Channel) Credits(vc uint8) int { return ch.credit[vc] }
+
+// CanSend reports whether a packet of the given size can be forwarded on vc
+// right now: the serializer must free up within this cycle (a small
+// serialization FIFO lets the handoff overlap the previous flit's tail, so
+// fractional rates like the torus 45/14 cycles per flit are sustained
+// exactly) and the downstream VC must have credit for every flit (virtual
+// cut-through).
+func (ch *Channel) CanSend(now uint64, vc uint8, flits uint8) bool {
+	return ch.credit[vc] >= int(flits) && ch.busyUntilMilli < (now+1)*1000
+}
+
+// Send forwards a packet on vc. The packet arrives downstream when its last
+// flit clears the serializer plus the channel latency. The caller must have
+// checked CanSend.
+func (ch *Channel) Send(now uint64, p *packet.Packet, vc uint8) {
+	if !ch.CanSend(now, vc, p.Size) {
+		panic("fabric: Send without CanSend on " + ch.Name)
+	}
+	ch.credit[vc] -= int(p.Size)
+	p.CurVC = vc
+	ch.Sent += uint64(p.Size)
+
+	if ch.Energy != nil {
+		ch.countEnergy(now, p)
+	}
+	ch.sentAny = true
+
+	start := now * 1000
+	if ch.busyUntilMilli > start {
+		start = ch.busyUntilMilli
+	}
+	ch.busyUntilMilli = start + uint64(p.Size)*ch.rate
+	// Arrival cycle: when the last flit has been serialized, plus wire
+	// latency. Integer-rounded up; always at least now+1.
+	arrive := (ch.busyUntilMilli+999)/1000 + ch.latency - 1
+	if arrive <= now {
+		arrive = now + 1
+	}
+	ch.pkts.SendAt(arrive, p)
+}
+
+func (ch *Channel) countEnergy(now uint64, p *packet.Packet) {
+	e := ch.Energy
+	e.Flits += uint64(p.Size)
+	// An activation is an idle-to-valid transition: the previous flit
+	// finished strictly before this cycle began (back-to-back flits do
+	// not activate), or this is the first flit ever.
+	if !ch.sentAny || ch.busyUntilMilli < now*1000 {
+		e.Activations++
+	}
+	if p.Payload != nil {
+		e.HammingSum += uint64(packet.HammingDistance(ch.prevPayload, p.Payload))
+		e.SetBitsSum += uint64(packet.SetBits(p.Payload)) * uint64(p.Size)
+		ch.prevPayload = append(ch.prevPayload[:0], p.Payload...)
+	}
+}
+
+// Recv polls for an arrived packet. The receiving component calls this in
+// its Tick; credits guarantee it has buffer space for anything that arrives.
+func (ch *Channel) Recv(now uint64) (*packet.Packet, bool) {
+	return ch.pkts.Poll(now)
+}
+
+// ReturnCredit informs the sender that flits of buffer space freed on vc.
+func (ch *Channel) ReturnCredit(now uint64, vc uint8, flits uint8) {
+	ch.credits.Send(now, creditMsg{vc: vc, flits: flits})
+}
+
+// Quiet reports whether the channel holds no in-flight packets or credits.
+func (ch *Channel) Quiet() bool { return ch.pkts.Empty() && ch.credits.Empty() }
+
+// FlitsSent returns the total flits forwarded over the channel's lifetime.
+func (ch *Channel) FlitsSent() uint64 { return ch.Sent }

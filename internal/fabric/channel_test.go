@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anton2/internal/packet"
+	"anton2/internal/topo"
+)
+
+func meshChan(track bool) *Channel {
+	return New(Config{
+		Name: "test", Group: topo.GroupM, Latency: 1,
+		RateMilli: MeshRateMilli, NumVCs: 4, BufFlits: 4,
+		CreditLatency: 1, TrackEnergy: track,
+	})
+}
+
+func pkt(size uint8) *packet.Packet { return &packet.Packet{Size: size} }
+
+func TestChannelCreditAccounting(t *testing.T) {
+	ch := meshChan(false)
+	if !ch.CanSend(0, 2, 1) {
+		t.Fatal("fresh channel must have full credit")
+	}
+	// Exhaust VC 2's credit (4 flits) with two 2-flit packets.
+	ch.Send(0, pkt(2), 2)
+	ch.Send(2, pkt(2), 2)
+	if ch.CanSend(4, 2, 1) {
+		t.Fatal("VC 2 should be out of credit")
+	}
+	if !ch.CanSend(4, 1, 2) {
+		t.Fatal("other VCs must be unaffected")
+	}
+	// Return one flit: enough for a 1-flit packet, not a 2-flit one.
+	ch.ReturnCredit(4, 2, 1)
+	ch.AbsorbCredits(5)
+	if !ch.CanSend(5, 2, 1) || ch.CanSend(5, 2, 2) {
+		t.Fatalf("credit = %d, want exactly 1", ch.Credits(2))
+	}
+}
+
+func TestChannelCreditLatency(t *testing.T) {
+	ch := meshChan(false)
+	ch.Send(0, pkt(1), 0)
+	ch.ReturnCredit(10, 0, 1)
+	ch.AbsorbCredits(10)
+	if ch.Credits(0) != 3 {
+		t.Fatalf("credit visible same cycle; got %d", ch.Credits(0))
+	}
+	ch.AbsorbCredits(11)
+	if ch.Credits(0) != 4 {
+		t.Fatalf("credit after latency = %d, want 4", ch.Credits(0))
+	}
+}
+
+func TestChannelMeshTiming(t *testing.T) {
+	ch := meshChan(false)
+	p := pkt(1)
+	ch.Send(5, p, 0)
+	if _, ok := ch.Recv(5); ok {
+		t.Fatal("same-cycle delivery")
+	}
+	got, ok := ch.Recv(6)
+	if !ok || got != p {
+		t.Fatalf("Recv(6) = %v, %v", got, ok)
+	}
+	if got.CurVC != 0 {
+		t.Errorf("CurVC = %d, want 0", got.CurVC)
+	}
+	// Two-flit packet: last flit clears at start+2, arrival at +2 (latency
+	// 1 overlaps serialization tail).
+	p2 := pkt(2)
+	ch.Send(10, p2, 1)
+	if _, ok := ch.Recv(11); ok {
+		t.Fatal("2-flit packet cannot arrive after one cycle")
+	}
+	if _, ok := ch.Recv(12); !ok {
+		t.Fatal("2-flit packet should arrive at cycle 12")
+	}
+}
+
+func TestChannelBackToBackMeshRate(t *testing.T) {
+	ch := meshChan(false)
+	ch.Send(0, pkt(1), 0)
+	if !ch.CanSend(1, 1, 1) {
+		t.Fatal("mesh channel must accept one flit per cycle")
+	}
+	ch.Send(1, pkt(1), 1)
+	if ch.CanSend(1, 2, 1) {
+		t.Fatal("channel accepted two flits in one cycle")
+	}
+}
+
+func TestChannelTorusSerialization(t *testing.T) {
+	ch := New(Config{
+		Name: "torus", Group: topo.GroupT, Latency: 10,
+		RateMilli: TorusRateMilli, NumVCs: 8, BufFlits: 32,
+	})
+	// Send at cycle 0: serializer busy until 3.214 cycles.
+	ch.Send(0, pkt(1), 0)
+	if ch.CanSend(1, 0, 1) || ch.CanSend(2, 0, 1) {
+		t.Fatal("torus serializer should still be busy at cycles 1-2")
+	}
+	if !ch.CanSend(3, 0, 1) {
+		t.Fatal("torus serializer frees within cycle 3 (3.214 cycles/flit)")
+	}
+	// Arrival: ceil(3.214) + latency - 1 = 4 + 9 = 13.
+	if _, ok := ch.Recv(12); ok {
+		t.Fatal("arrived too early")
+	}
+	if _, ok := ch.Recv(13); !ok {
+		t.Fatal("should arrive at cycle 13")
+	}
+	// Sustained rate: 14 flits per 45 cycles (89.6 Gb/s of 288). Over
+	// 900 cycles that is exactly 280 flits (+1 tolerance for the idle
+	// bucket at the window start).
+	sent := 0
+	for now := uint64(100); now < 100+900; now++ {
+		ch.AbsorbCredits(now)
+		if ch.CanSend(now, 1, 1) {
+			ch.Send(now, pkt(1), 1)
+			ch.ReturnCredit(now, 1, 1) // downstream drains immediately
+			sent++
+		}
+	}
+	if sent < 280 || sent > 281 {
+		t.Fatalf("sustained %d flits in 900 cycles, want 280 (45/14 cycles per flit)", sent)
+	}
+}
+
+func TestChannelEnergyActivations(t *testing.T) {
+	ch := meshChan(true)
+	// Pattern: flits at cycles 0,1 (one activation), gap, 4 (second), 5,6.
+	for _, c := range []uint64{0, 1, 4, 5, 6} {
+		ch.Send(c, pkt(1), 0)
+		ch.ReturnCredit(c, 0, 1)
+		ch.AbsorbCredits(c + 1)
+	}
+	if ch.Energy.Flits != 5 {
+		t.Errorf("flits = %d, want 5", ch.Energy.Flits)
+	}
+	if ch.Energy.Activations != 2 {
+		t.Errorf("activations = %d, want 2 (cycles 0 and 4)", ch.Energy.Activations)
+	}
+}
+
+func TestChannelEnergyHammingAndSetBits(t *testing.T) {
+	ch := meshChan(true)
+	mk := func(b byte) *packet.Packet {
+		p := pkt(1)
+		p.Payload = []byte{b, b}
+		return p
+	}
+	ch.Send(0, mk(0x00), 0)
+	ch.ReturnCredit(0, 0, 1)
+	ch.AbsorbCredits(1)
+	ch.Send(1, mk(0xFF), 0) // 16 bit flips vs previous, 16 set bits
+	ch.ReturnCredit(1, 0, 1)
+	ch.AbsorbCredits(2)
+	ch.Send(2, mk(0xFF), 0) // 0 flips, 16 set bits
+	if ch.Energy.HammingSum != 16 {
+		t.Errorf("hamming = %d, want 16", ch.Energy.HammingSum)
+	}
+	if ch.Energy.SetBitsSum != 32 {
+		t.Errorf("set bits = %d, want 32", ch.Energy.SetBitsSum)
+	}
+}
+
+func TestChannelSendWithoutCreditPanics(t *testing.T) {
+	ch := meshChan(false)
+	for i := 0; i < 4; i++ {
+		ch.Send(uint64(i), pkt(1), 3)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send without credit must panic")
+		}
+	}()
+	ch.Send(10, pkt(1), 3)
+}
+
+func TestHammingAndSetBitsHelpers(t *testing.T) {
+	if d := packet.HammingDistance([]byte{0x0F}, []byte{0xF0}); d != 8 {
+		t.Errorf("HammingDistance = %d, want 8", d)
+	}
+	if d := packet.HammingDistance(nil, []byte{0xFF}); d != 8 {
+		t.Errorf("HammingDistance vs nil = %d, want 8", d)
+	}
+	if n := packet.SetBits([]byte{0x01, 0x03, 0x07}); n != 6 {
+		t.Errorf("SetBits = %d, want 6", n)
+	}
+}
+
+func TestSizeForPayload(t *testing.T) {
+	if packet.SizeForPayload(16) != 1 || packet.SizeForPayload(17) != 2 || packet.SizeForPayload(32) != 2 {
+		t.Error("flit sizing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized payload must panic")
+		}
+	}()
+	packet.SizeForPayload(33)
+}
+
+// TestChannelCreditInvariantProperty: under random interleavings of sends,
+// credit returns, and time advances, the sender-side credit never exceeds
+// the buffer capacity and never goes negative, and flits are conserved.
+func TestChannelCreditInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const bufFlits = 4
+		ch := New(Config{
+			Name: "prop", Group: topo.GroupM, Latency: 1,
+			RateMilli: MeshRateMilli, NumVCs: 2, BufFlits: bufFlits,
+		})
+		now := uint64(0)
+		sent, received, returned := 0, 0, 0
+		var held [2]int // per-VC packets awaiting credit return
+		for _, op := range ops {
+			vc := uint8(op>>4) & 1
+			switch op % 4 {
+			case 0: // try to send
+				if ch.CanSend(now, vc, 1) {
+					ch.Send(now, &packet.Packet{Size: 1}, vc)
+					sent++
+				}
+			case 1: // receiver polls
+				if p, ok := ch.Recv(now); ok {
+					received++
+					held[p.CurVC]++
+				}
+			case 2: // receiver returns one credit on a VC it holds
+				if held[vc] > 0 {
+					ch.ReturnCredit(now, vc, 1)
+					held[vc]--
+					returned++
+				}
+			case 3:
+				now++
+				ch.AbsorbCredits(now)
+			}
+			if received > sent || returned > received {
+				return false // conservation violated
+			}
+			for v := uint8(0); v < 2; v++ {
+				if ch.Credits(v) < 0 || ch.Credits(v) > bufFlits {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

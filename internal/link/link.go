@@ -1,0 +1,176 @@
+// Package link models the physical and link layers of an Anton 2 torus
+// channel (Section 2.2): eight bidirectional SerDes lanes at 14 Gb/s per
+// channel (112 Gb/s raw per direction), with framing, CRC error checking,
+// and go-back-N retransmission reducing the effective bandwidth to
+// 89.6 Gb/s per direction. The cycle simulator abstracts links as
+// rate-limited channels; this package provides the frame-level model that
+// justifies that abstraction and quantifies how error rate and window size
+// erode goodput.
+package link
+
+import (
+	"math/rand"
+)
+
+// Physical constants (Section 2.2).
+const (
+	// LanesPerChannel is the SerDes count per physical channel.
+	LanesPerChannel = 8
+	// LaneGbps is the per-lane signaling rate.
+	LaneGbps = 14.0
+	// RawGbps is the raw channel bandwidth per direction.
+	RawGbps = LanesPerChannel * LaneGbps // 112
+	// EffectiveGbps is the post-framing bandwidth the paper reports.
+	EffectiveGbps = 89.6
+)
+
+// Config parameterizes a frame-level link model.
+type Config struct {
+	// PayloadBytes per frame (a frame carries one network flit).
+	PayloadBytes int
+	// OverheadBytes per frame: framing, sequence number, CRC.
+	OverheadBytes int
+	// WindowFrames is the go-back-N window (unacknowledged frames in
+	// flight).
+	WindowFrames int
+	// RTTCycles is the sender-to-receiver-to-sender delay in link
+	// cycles, covering wire flight and ack turnaround.
+	RTTCycles int
+	// ErrorRate is the independent per-frame corruption probability.
+	ErrorRate float64
+	// Seed drives the error process.
+	Seed int64
+}
+
+// DefaultConfig returns a model matching the paper's derivation: a 24-byte
+// flit with 6 bytes of framing/CRC/sequence overhead gives exactly
+// 24/30 = 80% efficiency: 112 Gb/s raw -> 89.6 Gb/s effective.
+func DefaultConfig() Config {
+	return Config{
+		PayloadBytes:  24,
+		OverheadBytes: 6,
+		WindowFrames:  64,
+		RTTCycles:     32,
+		ErrorRate:     0,
+		Seed:          1,
+	}
+}
+
+// FrameEfficiency is the payload fraction of each frame.
+func (c Config) FrameEfficiency() float64 {
+	return float64(c.PayloadBytes) / float64(c.PayloadBytes+c.OverheadBytes)
+}
+
+// EffectiveBandwidthGbps returns the error-free effective bandwidth.
+func (c Config) EffectiveBandwidthGbps() float64 {
+	return RawGbps * c.FrameEfficiency()
+}
+
+// Link simulates one direction of a channel at frame granularity with
+// go-back-N retransmission. Time advances in frame slots: the sender may
+// emit one frame per slot.
+type Link struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Sender state.
+	base    int // oldest unacknowledged sequence number
+	nextSeq int // next sequence number to send
+	total   int // frames the application wants delivered
+
+	// Receiver state.
+	expected int // next in-order sequence number expected
+
+	// In-flight events: frames heading to the receiver and
+	// acknowledgements heading back, as (deliverySlot, seq, ok) tuples.
+	frames []event
+	acks   []event
+
+	// Stats.
+	Sent        int // frames transmitted (including retransmissions)
+	Delivered   int // frames accepted in order by the receiver
+	Corrupted   int // frames dropped by CRC
+	Retransmits int // frames sent more than once
+	slot        int
+}
+
+type event struct {
+	at  int
+	seq int
+	ok  bool
+}
+
+// New builds a link that must deliver total frames.
+func New(cfg Config, total int) *Link {
+	if cfg.WindowFrames < 1 || cfg.RTTCycles < 1 {
+		panic("link: window and RTT must be positive")
+	}
+	return &Link{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), total: total}
+}
+
+// Step advances one frame slot.
+func (l *Link) Step() {
+	l.slot++
+
+	// Receiver: process arriving frames in order of transmission.
+	for len(l.frames) > 0 && l.frames[0].at <= l.slot {
+		f := l.frames[0]
+		l.frames = l.frames[1:]
+		if !f.ok {
+			l.Corrupted++
+			continue // CRC drop; go-back-N relies on the cumulative ack
+		}
+		if f.seq == l.expected {
+			l.expected++
+			l.Delivered++
+		}
+		// Cumulative ack for everything before `expected`.
+		l.acks = append(l.acks, event{at: l.slot + l.cfg.RTTCycles/2, seq: l.expected})
+	}
+
+	// Sender: absorb acks.
+	for len(l.acks) > 0 && l.acks[0].at <= l.slot {
+		a := l.acks[0]
+		l.acks = l.acks[1:]
+		if a.seq > l.base {
+			l.base = a.seq
+		}
+	}
+
+	// Go-back-N timeout: if the window has been stuck a full RTT with
+	// nothing in flight to resolve it, rewind to the base.
+	if l.nextSeq > l.base && len(l.frames) == 0 && len(l.acks) == 0 {
+		l.Retransmits += l.nextSeq - l.base
+		l.nextSeq = l.base
+	}
+
+	// Sender: emit one frame if the window allows.
+	if l.nextSeq < l.total && l.nextSeq-l.base < l.cfg.WindowFrames {
+		ok := l.rng.Float64() >= l.cfg.ErrorRate
+		l.frames = append(l.frames, event{at: l.slot + l.cfg.RTTCycles/2, seq: l.nextSeq, ok: ok})
+		l.nextSeq++
+		l.Sent++
+	}
+}
+
+// Done reports whether every frame has been delivered in order.
+func (l *Link) Done() bool { return l.Delivered >= l.total }
+
+// Run steps until done or maxSlots elapse, returning the slot count.
+func (l *Link) Run(maxSlots int) (int, bool) {
+	for s := 0; s < maxSlots; s++ {
+		if l.Done() {
+			return l.slot, true
+		}
+		l.Step()
+	}
+	return l.slot, l.Done()
+}
+
+// Goodput returns delivered frames per slot so far.
+func (l *Link) Goodput() float64 {
+	if l.slot == 0 {
+		return 0
+	}
+	return float64(l.Delivered) / float64(l.slot)
+}

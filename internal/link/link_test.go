@@ -1,0 +1,126 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestEffectiveBandwidthDerivation: the paper's numbers — 8 lanes x 14 Gb/s
+// = 112 Gb/s raw, 89.6 Gb/s effective — correspond to exactly 80% framing
+// efficiency.
+func TestEffectiveBandwidthDerivation(t *testing.T) {
+	c := DefaultConfig()
+	if RawGbps != 112 {
+		t.Errorf("raw bandwidth = %v, want 112", RawGbps)
+	}
+	if math.Abs(c.FrameEfficiency()-0.8) > 1e-12 {
+		t.Errorf("frame efficiency = %v, want 0.8", c.FrameEfficiency())
+	}
+	if math.Abs(c.EffectiveBandwidthGbps()-EffectiveGbps) > 1e-9 {
+		t.Errorf("effective bandwidth = %v, want %v", c.EffectiveBandwidthGbps(), EffectiveGbps)
+	}
+}
+
+func TestErrorFreeDelivery(t *testing.T) {
+	l := New(DefaultConfig(), 1000)
+	slots, done := l.Run(100000)
+	if !done {
+		t.Fatalf("did not finish in %d slots", slots)
+	}
+	if l.Retransmits != 0 || l.Corrupted != 0 {
+		t.Errorf("error-free run retransmitted %d, corrupted %d", l.Retransmits, l.Corrupted)
+	}
+	// With window >= RTT the link is pipeline-limited: ~1 frame per slot
+	// plus pipeline fill.
+	if slots > 1000+DefaultConfig().RTTCycles+10 {
+		t.Errorf("took %d slots for 1000 frames; link should stream at full rate", slots)
+	}
+}
+
+func TestDeliveryWithErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ErrorRate = 0.05
+	l := New(cfg, 2000)
+	_, done := l.Run(1_000_000)
+	if !done {
+		t.Fatal("lossy link failed to deliver all frames")
+	}
+	if l.Retransmits == 0 {
+		t.Error("5% error rate must force retransmissions")
+	}
+	if l.Delivered != 2000 {
+		t.Errorf("delivered %d frames, want exactly 2000 (in order, exactly once)", l.Delivered)
+	}
+}
+
+func TestGoodputDegradesWithErrorRate(t *testing.T) {
+	measure := func(rate float64) float64 {
+		cfg := DefaultConfig()
+		cfg.ErrorRate = rate
+		l := New(cfg, 3000)
+		if _, done := l.Run(5_000_000); !done {
+			t.Fatalf("error rate %v: no completion", rate)
+		}
+		return l.Goodput()
+	}
+	clean := measure(0)
+	lossy := measure(0.02)
+	worse := measure(0.10)
+	if !(clean > lossy && lossy > worse) {
+		t.Errorf("goodput should fall with error rate: %0.3f, %0.3f, %0.3f", clean, lossy, worse)
+	}
+}
+
+// TestWindowLimitsThroughput: with a window smaller than the RTT, the link
+// stalls waiting for acks (the reason the simulator's channel adapters carry
+// deep per-VC buffers).
+func TestWindowLimitsThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowFrames = 4
+	cfg.RTTCycles = 40
+	l := New(cfg, 400)
+	slots, done := l.Run(1_000_000)
+	if !done {
+		t.Fatal("no completion")
+	}
+	// Rate bound: window/RTT = 4/40 = 0.1 frames/slot.
+	if g := l.Goodput(); g > 0.12 {
+		t.Errorf("goodput %0.3f exceeds the window/RTT bound 0.1", g)
+	}
+	if slots < 3500 {
+		t.Errorf("finished in %d slots; window-limited link should need ~4000", slots)
+	}
+}
+
+// TestInOrderExactlyOnceProperty: under random error rates, windows, and
+// RTTs, every frame is delivered in order exactly once.
+func TestInOrderExactlyOnceProperty(t *testing.T) {
+	f := func(errRaw, winRaw, rttRaw uint8, seed int64) bool {
+		cfg := DefaultConfig()
+		cfg.ErrorRate = float64(errRaw%40) / 100 // 0..0.39
+		cfg.WindowFrames = int(winRaw%32) + 1
+		cfg.RTTCycles = int(rttRaw%50) + 2
+		cfg.Seed = seed
+		total := 300
+		l := New(cfg, total)
+		_, done := l.Run(10_000_000)
+		return done && l.Delivered == total && l.expected == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatorRateConsistency(t *testing.T) {
+	// The cycle simulator charges 45/14 network cycles per flit on torus
+	// channels; verify that equals the frame model's effective rate.
+	// One flit = 192 payload bits; at 89.6 Gb/s that is 2.143 ns =
+	// 3.214 cycles at 1.5 GHz = 45/14 exactly.
+	flitBits := 192.0
+	nsPerFlit := flitBits / DefaultConfig().EffectiveBandwidthGbps()
+	cyclesPerFlit := nsPerFlit * 1.5
+	if math.Abs(cyclesPerFlit-45.0/14.0) > 1e-9 {
+		t.Errorf("cycles per flit = %v, want 45/14", cyclesPerFlit)
+	}
+}

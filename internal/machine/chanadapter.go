@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"fmt"
+
+	"anton2/internal/arbiter"
+	"anton2/internal/fabric"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// ChannelAdapter bridges a mesh router port to one external torus channel.
+// The egress path serializes mesh flits onto the torus link (applying the
+// dateline VC-promotion rule); the ingress path decides whether an arriving
+// packet continues along its dimension or turns, then forwards it to the
+// router. Both paths have per-VC queues and an arbiter across the VCs.
+type ChannelAdapter struct {
+	m         *Machine
+	node      int
+	nodeCoord topo.NodeCoord
+	id        topo.AdapterID
+
+	fromRouter *fabric.Channel // router -> adapter (mesh side in)
+	toRouter   *fabric.Channel // adapter -> router (mesh side out)
+	torusOut   *fabric.Channel // adapter -> neighbor (serial out)
+	torusIn    *fabric.Channel // neighbor -> adapter (serial in)
+
+	eg  []vcq // mesh -> torus queues, indexed by arrival VC
+	ing []vcq // torus -> router queues, indexed by arrival VC
+
+	egArb arbiter.Arbiter
+	inArb arbiter.Arbiter
+	pats  []uint8 // scratch pattern labels for arbiter picks
+
+	queued int
+
+	// Diagnostic counters: per path, packets sent and cycles where a
+	// ready head could not proceed for lack of downstream credit or
+	// serializer capacity.
+	EgSent, EgStarved uint64
+	InSent, InStarved uint64
+}
+
+func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter {
+	ca := m.Topo.Chip.AdapterAt(id)
+	tvcs := route.TotalVCs(m.Cfg.Scheme, topo.GroupT)
+	u := m.Topo.Shape.NodeID(m.Topo.Shape.Neighbor(m.Topo.Shape.Coord(node), id.Dir))
+	a := &ChannelAdapter{
+		m:          m,
+		node:       node,
+		nodeCoord:  m.Topo.Shape.Coord(node),
+		id:         id,
+		fromRouter: m.chans[m.Topo.IntraChanID(node, ca.FromRouter)],
+		toRouter:   m.chans[m.Topo.IntraChanID(node, ca.ToRouter)],
+		torusOut:   m.chans[m.Topo.TorusChanID(node, id.Dir, id.Slice)],
+		torusIn:    m.chans[m.Topo.TorusChanID(u, id.Dir.Opposite(), id.Slice)],
+		eg:         make([]vcq, tvcs),
+		ing:        make([]vcq, tvcs),
+	}
+	a.egArb = m.newArbiter(tvcs, m.adapterWeights(true, id, tvcs))
+	a.inArb = m.newArbiter(tvcs, m.adapterWeights(false, id, tvcs))
+	a.pats = make([]uint8, tvcs)
+	return a
+}
+
+// Tick implements sim.Component.
+func (a *ChannelAdapter) Tick(now uint64) {
+	a.torusOut.AbsorbCredits(now)
+	a.toRouter.AbsorbCredits(now)
+
+	for {
+		p, ok := a.fromRouter.Recv(now)
+		if !ok {
+			break
+		}
+		if p.SourceRoute != nil {
+			panic("machine: source-routed packet reached a channel adapter")
+		}
+		p.ArrivedAt = now
+		if p.Trace != nil {
+			p.Tracepoint("adapter egress "+a.id.String(), now)
+		}
+		a.eg[p.CurVC].push(p)
+		a.queued++
+	}
+	for {
+		p, ok := a.torusIn.Recv(now)
+		if !ok {
+			break
+		}
+		p.ArrivedAt = now
+		p.TorusHops++
+		if p.Trace != nil {
+			p.Tracepoint("adapter ingress "+a.id.String(), now)
+		}
+		a.ing[p.CurVC].push(p)
+		a.queued++
+	}
+	if a.queued == 0 {
+		return
+	}
+
+	// Egress: one packet per cycle onto the torus link, chosen among VC
+	// heads with credit downstream.
+	var req uint64
+	for vci := range a.eg {
+		q := &a.eg[vci]
+		if q.empty() {
+			continue
+		}
+		if !q.routed {
+			p := q.headPkt()
+			// The dateline rule applies as the packet leaves the
+			// node (Section 2.5).
+			vc := route.AdapterEgress(a.m.routeCfg, &p.Route, a.nodeCoord)
+			q.outVC = uint8(route.PhysVC(a.m.Cfg.Scheme, topo.GroupT, p.Route.Class, vc))
+			q.routed = true
+			q.readyAt = p.ArrivedAt + a.m.Cfg.AdapterPipeline
+		}
+		if q.readyAt <= now {
+			if a.torusOut.CanSend(now, q.outVC, q.headPkt().Size) {
+				req |= 1 << vci
+				a.pats[vci] = q.headPkt().PatternID
+			} else {
+				a.EgStarved++
+			}
+		}
+	}
+	if req != 0 {
+		a.EgSent++
+		g := a.egArb.Pick(req, a.pats)
+		q := &a.eg[g]
+		outVC := q.outVC
+		p := q.pop()
+		a.queued--
+		a.torusOut.Send(now, p, outVC)
+		p.Tracepoint("torus out "+a.id.String(), now)
+		a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
+		a.m.Engine.Progress()
+	}
+
+	// Ingress: one packet per cycle toward the router.
+	req = 0
+	for vci := range a.ing {
+		q := &a.ing[vci]
+		if q.empty() {
+			continue
+		}
+		if !q.routed {
+			p := q.headPkt()
+			if p.MGroup >= 0 {
+				// Multicast: replicate per the loaded table;
+				// branches ride the adapter->router link at
+				// the arrival T-group VC.
+				q.branches = a.expandMulticast(p)
+				q.outVC = uint8(route.PhysVC(a.m.Cfg.Scheme, topo.GroupT, p.Route.Class, p.Route.TVC))
+			} else {
+				// Continue-or-turn decision (once per arrival).
+				vc := route.AdapterIngress(a.m.routeCfg, &p.Route, p.Dst, a.node)
+				q.outVC = uint8(route.PhysVC(a.m.Cfg.Scheme, topo.GroupT, p.Route.Class, vc))
+			}
+			q.routed = true
+			q.readyAt = p.ArrivedAt + a.m.Cfg.AdapterPipeline
+		}
+		if q.readyAt <= now {
+			if a.toRouter.CanSend(now, q.outVC, a.ingHead(q).Size) {
+				req |= 1 << vci
+				a.pats[vci] = a.ingHead(q).PatternID
+			} else {
+				a.InStarved++
+			}
+		}
+	}
+	if req != 0 {
+		a.InSent++
+		g := a.inArb.Pick(req, a.pats)
+		q := &a.ing[g]
+		outVC := q.outVC
+		if len(q.branches) > 0 {
+			// Send the next branch; pop the buffered original only
+			// after the last branch leaves.
+			b := q.branches[0]
+			q.branches = q.branches[1:]
+			a.toRouter.Send(now, b, outVC)
+			if len(q.branches) == 0 {
+				orig := q.pop()
+				a.queued--
+				a.torusIn.ReturnCredit(now, uint8(g), orig.Size)
+				a.m.free(orig)
+			}
+		} else {
+			p := q.pop()
+			a.queued--
+			a.toRouter.Send(now, p, outVC)
+			a.torusIn.ReturnCredit(now, uint8(g), p.Size)
+		}
+		a.m.Engine.Progress()
+	}
+}
+
+// ingHead returns the packet that would move next from an ingress queue: a
+// pending multicast branch, or the head itself.
+func (a *ChannelAdapter) ingHead(q *vcq) *packet.Packet {
+	if len(q.branches) > 0 {
+		return q.branches[0]
+	}
+	return q.headPkt()
+}
+
+// expandMulticast builds the branch copies an arriving multicast packet
+// fans out into at this node, per the group's table.
+func (a *ChannelAdapter) expandMulticast(p *packet.Packet) []*packet.Packet {
+	g := a.m.Cfg.Multicast[p.MGroup]
+	if g == nil {
+		panic(fmt.Sprintf("machine: multicast group %d not loaded", p.MGroup))
+	}
+	e, ok := g.Entries[a.node]
+	if !ok {
+		panic(fmt.Sprintf("machine: multicast group %d has no entry at node %d", p.MGroup, a.node))
+	}
+	ingress := a.m.Topo.Chip.AdapterAt(a.id).Router
+	out := make([]*packet.Packet, 0, len(e.Forward)+len(e.Deliver))
+	for _, d := range e.Forward {
+		c := a.m.clonePacket(p)
+		if d == p.Route.Dir {
+			route.MulticastContinue(&c.Route)
+		} else {
+			route.MulticastTurn(a.m.routeCfg, &c.Route, d, g.DimIndex(d.Dim()), ingress)
+		}
+		out = append(out, c)
+	}
+	for _, ep := range e.Deliver {
+		c := a.m.clonePacket(p)
+		c.Dst = topo.NodeEp{Node: a.node, Ep: ep}
+		route.MulticastDeliver(a.m.routeCfg, &c.Route, c.Dst, ingress)
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("machine: multicast group %d entry at node %d forwards nowhere", p.MGroup, a.node))
+	}
+	return out
+}

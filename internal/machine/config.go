@@ -1,0 +1,106 @@
+// Package machine assembles and simulates a complete Anton 2 network: per
+// node a 4x4 mesh of six-port routers with skip channels, 23 endpoint
+// adapters, and 12 torus-channel adapters; nodes wired into a channel-sliced
+// 3-D torus. Flow control is credit-based virtual cut-through with separate
+// request/reply traffic classes, and arbitration is pluggable between
+// locally fair round-robin and the inverse-weighted arbiters of Section 3.
+package machine
+
+import (
+	"anton2/internal/arbiter"
+	"anton2/internal/loadcalc"
+	"anton2/internal/multicast"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// Clock parameters (Section 2.2): the on-chip network runs at 1.5 GHz.
+const (
+	// CyclePS is the cycle time in picoseconds.
+	CyclePS = 1000000 / 1500 // 666 ps
+)
+
+// CyclesToNS converts cycles to nanoseconds.
+func CyclesToNS(cycles float64) float64 { return cycles * float64(CyclePS) / 1000.0 }
+
+// NSToCycles converts nanoseconds to (fractional) cycles.
+func NSToCycles(ns float64) float64 { return ns * 1000.0 / float64(CyclePS) }
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Shape is the torus radix per dimension.
+	Shape topo.TorusShape
+	// Scheme is the VC promotion discipline (default: the Anton n+1
+	// scheme of Section 2.5).
+	Scheme route.Scheme
+	// DirOrder is the on-chip direction-order algorithm (default:
+	// V- U+ U- V+, the Section 2.4 optimum).
+	DirOrder topo.DirOrder
+	// UseSkip routes X through-traffic over the skip channels; ExitSkip
+	// additionally lets packets finishing the X dimension cross sides
+	// over the skip (see route.Config).
+	UseSkip  bool
+	ExitSkip bool
+	// Arbiter selects round-robin or inverse-weighted arbitration
+	// throughout the network.
+	Arbiter arbiter.Kind
+	// Weights supplies the inverse-weight tables (required when Arbiter
+	// is KindInverseWeighted).
+	Weights *loadcalc.WeightSet
+
+	// Buffer depths per VC, in flits.
+	MeshVCBuf  int
+	TorusVCBuf int
+
+	// Pipeline depths, in cycles: the router's RC/VA/SA1 stages before a
+	// packet may bid for the switch, and the adapters' processing
+	// latencies.
+	RouterPipeline   uint64
+	AdapterPipeline  uint64
+	EndpointPipeline uint64
+
+	// Channel latencies in cycles. TorusLatency covers SerDes,
+	// framing, and wire flight for a typical link; LinkLatency, when
+	// non-nil, overrides it per link (packaging-derived lengths).
+	MeshLatency   uint64
+	TorusLatency  uint64
+	CreditLatency uint64
+	LinkLatency   func(node int, ad topo.AdapterID) uint64
+
+	// TorusRateMilli is the torus serialization rate in millicycles per
+	// flit (default 3214 = 89.6 Gb/s effective of the 288 Gb/s mesh).
+	TorusRateMilli uint64
+
+	// TrackEnergy enables the per-channel event counters feeding the
+	// Section 4.5 energy model.
+	TrackEnergy bool
+
+	// Multicast holds the loaded multicast routing tables by group id
+	// (Section 2.3); nil disables multicast.
+	Multicast map[int]*multicast.Compiled
+
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-faithful configuration for a torus shape.
+func DefaultConfig(shape topo.TorusShape) Config {
+	return Config{
+		Shape:            shape,
+		Scheme:           route.AntonScheme{},
+		DirOrder:         topo.DefaultDirOrder,
+		UseSkip:          true,
+		ExitSkip:         true,
+		Arbiter:          arbiter.KindRoundRobin,
+		MeshVCBuf:        64,
+		TorusVCBuf:       256,
+		RouterPipeline:   3, // RC, VA, SA1; SA2 grants on the next scan
+		AdapterPipeline:  3,
+		EndpointPipeline: 4,
+		MeshLatency:      1,
+		TorusLatency:     45, // SerDes + framing + wire, ~30 ns
+		CreditLatency:    1,
+		TorusRateMilli:   3214,
+		Seed:             1,
+	}
+}

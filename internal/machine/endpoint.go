@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"anton2/internal/fabric"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// EndpointAdapter connects a computational endpoint (a "core") to its mesh
+// router. It has an unbounded software-side injection queue — MD
+// communication is bursty and not self-throttling (Section 2) — and a single
+// VC per traffic class toward the network.
+type EndpointAdapter struct {
+	m    *Machine
+	node int
+	ep   int
+
+	out *fabric.Channel // endpoint -> router
+	in  *fabric.Channel // router -> endpoint
+
+	swq  []*packet.Packet // software injection queue (FIFO)
+	head int
+
+	// Source, when non-nil, lazily supplies injection packets once the
+	// explicit queue is empty; it returns nil when exhausted. This keeps
+	// large batch experiments at O(1) memory.
+	Source func() *packet.Packet
+
+	// OnDeliver, when set, observes each delivered packet before it is
+	// recycled. Returning true retains the packet (the pool will not
+	// reuse it).
+	OnDeliver func(p *packet.Packet, now uint64) bool
+
+	// sched tracks the last scheduled injection cycle so the software
+	// send pipeline overlaps: sustained injection is one packet per
+	// cycle after the initial EndpointPipeline latency.
+	sched uint64
+}
+
+func newEndpoint(m *Machine, node, ep int) *EndpointAdapter {
+	ce := &m.Topo.Chip.Endpoints[ep]
+	return &EndpointAdapter{
+		m:    m,
+		node: node,
+		ep:   ep,
+		out:  m.chans[m.Topo.IntraChanID(node, ce.ToRouter)],
+		in:   m.chans[m.Topo.IntraChanID(node, ce.FromRouter)],
+	}
+}
+
+// Inject queues a packet for transmission. The packet's route state must be
+// initialized (Machine.MakePacket does this).
+func (e *EndpointAdapter) Inject(p *packet.Packet) {
+	p.InjectedAt = e.m.Engine.Now()
+	if p.NotBefore == 0 {
+		nb := p.InjectedAt + e.m.Cfg.EndpointPipeline
+		if nb <= e.sched {
+			nb = e.sched + 1 // pipelined sends: one per cycle
+		}
+		p.NotBefore = nb
+		e.sched = nb
+	}
+	e.swq = append(e.swq, p)
+	e.m.injected++
+}
+
+// Pending returns the number of packets queued for injection.
+func (e *EndpointAdapter) Pending() int { return len(e.swq) - e.head }
+
+// Tick implements sim.Component.
+func (e *EndpointAdapter) Tick(now uint64) {
+	e.out.AbsorbCredits(now)
+
+	// Ejection: drain arrivals and return credits.
+	for {
+		p, ok := e.in.Recv(now)
+		if !ok {
+			break
+		}
+		e.in.ReturnCredit(now, p.CurVC, p.Size)
+		p.DeliveredAt = now
+		p.Tracepoint("endpoint deliver", now)
+		e.m.deliver(e, p, now)
+	}
+
+	// Top up the software queue from the lazy source so the injection
+	// pipeline stays full (one send per cycle once primed).
+	if e.Source != nil {
+		for e.Pending() <= int(e.m.Cfg.EndpointPipeline)+1 {
+			p := e.Source()
+			if p == nil {
+				e.Source = nil
+				break
+			}
+			e.Inject(p)
+		}
+	}
+
+	// Injection: at most one packet per cycle onto the endpoint channel.
+	if e.head >= len(e.swq) {
+		return
+	}
+	p := e.swq[e.head]
+	if p.NotBefore > now {
+		return
+	}
+	var vc uint8
+	if p.SourceRoute != nil {
+		vc = 0
+	} else {
+		vc = uint8(route.PhysVC(e.m.Cfg.Scheme, topo.GroupM, p.Route.Class, p.Route.MVC))
+	}
+	if !e.out.CanSend(now, vc, p.Size) {
+		return
+	}
+	e.out.Send(now, p, vc)
+	p.Tracepoint("endpoint inject", now)
+	e.m.Engine.Progress()
+	e.swq[e.head] = nil
+	e.head++
+	if e.head == len(e.swq) {
+		e.head = 0
+		e.swq = e.swq[:0]
+	}
+}

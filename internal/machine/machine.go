@@ -1,0 +1,325 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anton2/internal/arbiter"
+	"anton2/internal/fabric"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/topo"
+)
+
+// Machine is a fully wired simulated Anton 2 network.
+type Machine struct {
+	Cfg    Config
+	Topo   *topo.Machine
+	Engine *sim.Engine
+
+	routeCfg *route.Config
+	chans    []*fabric.Channel // global channel id -> channel
+	nodes    []*Node
+
+	injected  uint64
+	delivered uint64
+
+	pool   []*packet.Packet
+	nextID uint64
+}
+
+// Node groups one ASIC's components.
+type Node struct {
+	ID        int
+	Routers   [topo.NumRouters]*Router
+	Endpoints [topo.NumEndpoints]*EndpointAdapter
+	Adapters  [topo.NumChannelAdapters]*ChannelAdapter
+}
+
+// New builds and wires a machine.
+func New(cfg Config) (*Machine, error) {
+	tm, err := topo.NewMachine(cfg.Shape)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = route.AntonScheme{}
+	}
+	if cfg.Arbiter == arbiter.KindInverseWeighted && cfg.Weights == nil {
+		return nil, fmt.Errorf("machine: inverse-weighted arbitration requires a WeightSet")
+	}
+	m := &Machine{
+		Cfg:    cfg,
+		Topo:   tm,
+		Engine: sim.NewEngine(),
+		routeCfg: &route.Config{
+			Machine:  tm,
+			Scheme:   cfg.Scheme,
+			DirOrder: cfg.DirOrder,
+			UseSkip:  cfg.UseSkip,
+			ExitSkip: cfg.ExitSkip,
+		},
+	}
+
+	// Channels.
+	m.chans = make([]*fabric.Channel, tm.NumChannels())
+	for n := 0; n < tm.NumNodes(); n++ {
+		for ci := range tm.Chip.IntraChans {
+			ch := &tm.Chip.IntraChans[ci]
+			id := tm.IntraChanID(n, ci)
+			m.chans[id] = fabric.New(fabric.Config{
+				ID:            id,
+				Name:          fmt.Sprintf("n%d:%s", n, ch.Name),
+				Group:         ch.Group,
+				Latency:       cfg.MeshLatency,
+				RateMilli:     fabric.MeshRateMilli,
+				NumVCs:        route.TotalVCs(cfg.Scheme, ch.Group),
+				BufFlits:      cfg.MeshVCBuf,
+				CreditLatency: cfg.CreditLatency,
+				TrackEnergy:   cfg.TrackEnergy,
+			})
+		}
+		for ai := 0; ai < topo.NumChannelAdapters; ai++ {
+			ad := topo.AdapterByIndex(ai)
+			id := tm.TorusChanID(n, ad.Dir, ad.Slice)
+			lat := cfg.TorusLatency
+			if cfg.LinkLatency != nil {
+				lat = cfg.LinkLatency(n, ad)
+			}
+			m.chans[id] = fabric.New(fabric.Config{
+				ID:            id,
+				Name:          fmt.Sprintf("n%d:torus:%s", n, ad),
+				Group:         topo.GroupT,
+				Latency:       lat,
+				RateMilli:     cfg.TorusRateMilli,
+				NumVCs:        route.TotalVCs(cfg.Scheme, topo.GroupT),
+				BufFlits:      cfg.TorusVCBuf,
+				CreditLatency: cfg.CreditLatency,
+				TrackEnergy:   cfg.TrackEnergy,
+			})
+		}
+	}
+
+	// Components, registered in a fixed order for determinism.
+	m.nodes = make([]*Node, tm.NumNodes())
+	for n := 0; n < tm.NumNodes(); n++ {
+		node := &Node{ID: n}
+		m.nodes[n] = node
+		for ri := 0; ri < topo.NumRouters; ri++ {
+			node.Routers[ri] = newRouter(m, n, topo.RouterCoord(ri))
+			m.Engine.Register(node.Routers[ri])
+		}
+		for ai := 0; ai < topo.NumChannelAdapters; ai++ {
+			node.Adapters[ai] = newChannelAdapter(m, n, topo.AdapterByIndex(ai))
+			m.Engine.Register(node.Adapters[ai])
+		}
+		for ep := 0; ep < topo.NumEndpoints; ep++ {
+			node.Endpoints[ep] = newEndpoint(m, n, ep)
+			m.Engine.Register(node.Endpoints[ep])
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RouteConfig exposes the routing configuration (shared with loadcalc and
+// the deadlock analyzer).
+func (m *Machine) RouteConfig() *route.Config { return m.routeCfg }
+
+// Node returns a node by dense id.
+func (m *Machine) Node(id int) *Node { return m.nodes[id] }
+
+// Endpoint returns an endpoint adapter.
+func (m *Machine) Endpoint(ne topo.NodeEp) *EndpointAdapter {
+	return m.nodes[ne.Node].Endpoints[ne.Ep]
+}
+
+// Chan returns a channel by global id.
+func (m *Machine) Chan(id int) *fabric.Channel { return m.chans[id] }
+
+// newArbiter builds one arbitration point of the configured flavor.
+func (m *Machine) newArbiter(k int, weights [][arbiter.NumPatterns]uint32) arbiter.Arbiter {
+	if m.Cfg.Arbiter == arbiter.KindInverseWeighted {
+		if weights == nil {
+			weights = arbiter.UniformWeights(k)
+		}
+		return arbiter.NewInverseWeighted(k, weights)
+	}
+	return arbiter.NewRoundRobin(k)
+}
+
+func (m *Machine) sa1Weights(router, port, k int) [][arbiter.NumPatterns]uint32 {
+	if m.Cfg.Weights == nil {
+		return nil
+	}
+	return clipWeights(m.Cfg.Weights.SA1[router][port], k)
+}
+
+func (m *Machine) sa2Weights(router, port, k int) [][arbiter.NumPatterns]uint32 {
+	if m.Cfg.Weights == nil {
+		return nil
+	}
+	return clipWeights(m.Cfg.Weights.SA2[router][port], k)
+}
+
+func (m *Machine) adapterWeights(egress bool, id topo.AdapterID, k int) [][arbiter.NumPatterns]uint32 {
+	if m.Cfg.Weights == nil {
+		return nil
+	}
+	if egress {
+		return clipWeights(m.Cfg.Weights.AdEg[id.Index()], k)
+	}
+	return clipWeights(m.Cfg.Weights.AdIn[id.Index()], k)
+}
+
+func clipWeights(w [][arbiter.NumPatterns]uint32, k int) [][arbiter.NumPatterns]uint32 {
+	if w == nil {
+		return nil
+	}
+	if len(w) < k {
+		panic("machine: weight table narrower than arbiter")
+	}
+	return w[:k]
+}
+
+// MakePacket allocates a packet from the pool with an initialized route.
+func (m *Machine) MakePacket(src, dst topo.NodeEp, c route.Choices, class route.Class, pattern uint8, size uint8) *packet.Packet {
+	p := m.alloc()
+	p.Src, p.Dst = src, dst
+	p.Size = size
+	p.PatternID = pattern
+	p.Route = route.Init(m.routeCfg, src, dst, c.Order, c.Slice, c.Ties, class)
+	return p
+}
+
+// MakeRandomPacket is MakePacket with uniformly randomized routing choices.
+func (m *Machine) MakeRandomPacket(src, dst topo.NodeEp, class route.Class, pattern uint8, rng *rand.Rand) *packet.Packet {
+	return m.MakePacket(src, dst, route.RandomChoices(rng), class, pattern, 1)
+}
+
+func (m *Machine) alloc() *packet.Packet {
+	m.nextID++
+	if n := len(m.pool); n > 0 {
+		p := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		p.Reset()
+		p.ID = m.nextID
+		return p
+	}
+	return &packet.Packet{ID: m.nextID, MGroup: -1}
+}
+
+// clonePacket copies a multicast packet for one branch of its tree.
+func (m *Machine) clonePacket(p *packet.Packet) *packet.Packet {
+	c := m.alloc()
+	id := c.ID
+	*c = *p
+	c.ID = id
+	c.Payload = nil // branches share no payload modeling
+	return c
+}
+
+// InjectMulticast queues the source-node copies of a multicast group
+// rooted at src: one branch per forwarded torus direction plus local
+// deliveries, exactly as the endpoint adapter's table would produce. It
+// returns the group's machine-wide delivery count (for run-until bounds).
+func (m *Machine) InjectMulticast(src topo.NodeEp, group int, class route.Class, pattern uint8) int {
+	g := m.Cfg.Multicast[group]
+	if g == nil {
+		panic(fmt.Sprintf("machine: multicast group %d not loaded", group))
+	}
+	e, ok := g.Entries[src.Node]
+	if !ok {
+		panic(fmt.Sprintf("machine: multicast group %d has no entry at source node %d", group, src.Node))
+	}
+	chip := m.Topo.Chip
+	srcRouter := chip.Endpoints[src.Ep].Router
+	ep := m.Endpoint(src)
+	for _, d := range e.Forward {
+		p := m.alloc()
+		p.Src, p.Size, p.PatternID, p.MGroup = src, 1, pattern, group
+		p.Route = route.InitMulticastBranch(m.routeCfg, d, g.DimIndex(d.Dim()), g.Order, g.Slice, class, srcRouter)
+		ep.Inject(p)
+	}
+	for _, dstEp := range e.Deliver {
+		p := m.MakePacket(src, topo.NodeEp{Node: src.Node, Ep: dstEp},
+			route.Choices{Order: g.Order, Slice: g.Slice, Ties: [3]int8{1, 1, 1}}, class, pattern, 1)
+		p.MGroup = group
+		ep.Inject(p)
+	}
+	return g.TotalDeliveries()
+}
+
+// deliver finalizes a packet at its destination endpoint.
+func (m *Machine) deliver(e *EndpointAdapter, p *packet.Packet, now uint64) {
+	m.delivered++
+	m.Engine.Progress()
+	retain := false
+	if e.OnDeliver != nil {
+		retain = e.OnDeliver(p, now)
+	}
+	if !retain {
+		m.pool = append(m.pool, p)
+	}
+}
+
+// free returns a packet to the pool.
+func (m *Machine) free(p *packet.Packet) { m.pool = append(m.pool, p) }
+
+// Injected and Delivered report machine-wide packet counts.
+func (m *Machine) Injected() uint64  { return m.injected }
+func (m *Machine) Delivered() uint64 { return m.delivered }
+
+// RunUntilDelivered advances the simulation until the machine-wide delivered
+// count reaches want. It returns the cycle at completion, or an error on
+// watchdog deadlock / budget exhaustion.
+func (m *Machine) RunUntilDelivered(want uint64, maxCycles uint64) (uint64, error) {
+	err := m.Engine.RunUntil(func() bool { return m.delivered >= want }, maxCycles, 50_000)
+	return m.Engine.Now(), err
+}
+
+// TorusUtilization returns the min, mean, and max utilization of all torus
+// channels over a window of cycles, where 1.0 is full effective bandwidth.
+func (m *Machine) TorusUtilization(startFlits []uint64, cycles uint64) (min, mean, max float64) {
+	capacity := float64(cycles) * 1000 / float64(m.Cfg.TorusRateMilli)
+	base := m.Topo.NumNodes() * m.Topo.NumIntraChans()
+	min = 1e18
+	count := 0
+	for i := base; i < len(m.chans); i++ {
+		sent := m.chans[i].Sent
+		if startFlits != nil {
+			sent -= startFlits[i-base]
+		}
+		u := float64(sent) / capacity
+		mean += u
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+		count++
+	}
+	mean /= float64(count)
+	return min, mean, max
+}
+
+// SnapshotTorusFlits captures per-torus-channel flit counters for windowed
+// utilization measurements.
+func (m *Machine) SnapshotTorusFlits() []uint64 {
+	base := m.Topo.NumNodes() * m.Topo.NumIntraChans()
+	out := make([]uint64, len(m.chans)-base)
+	for i := range out {
+		out[i] = m.chans[base+i].Sent
+	}
+	return out
+}

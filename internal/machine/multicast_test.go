@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"testing"
+
+	"anton2/internal/multicast"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// buildGroup compiles a Figure 3 style plane-neighborhood multicast group.
+func buildGroup(t *testing.T, shape topo.TorusShape, root topo.NodeCoord, order topo.DimOrder) (*multicast.Compiled, []topo.NodeEp) {
+	t.Helper()
+	dests := multicast.PlaneNeighborhood(shape, root, topo.DimX, topo.DimY, 1, 0)
+	// Add a second endpoint copy on two of the nodes (MD destination sets
+	// carry several copies per node, Section 2.3).
+	dests = append(dests, topo.NodeEp{Node: dests[0].Node, Ep: 5}, topo.NodeEp{Node: dests[3].Node, Ep: 7})
+	tree := multicast.Build(shape, root, dests, order, 0)
+	return tree.Compile(shape), dests
+}
+
+// TestMulticastDeliversAllCopies drives a multicast packet through the
+// cycle simulator and verifies each destination endpoint receives exactly
+// one copy while the torus carries only the tree's hop count — the
+// bandwidth savings of Section 2.3 realized in simulation.
+func TestMulticastDeliversAllCopies(t *testing.T) {
+	shape := topo.Shape3(4, 4, 2)
+	root := topo.NodeCoord{X: 1, Y: 1, Z: 0}
+	group, dests := buildGroup(t, shape, root, topo.AllDimOrders[0])
+
+	cfg := DefaultConfig(shape)
+	cfg.Multicast = map[int]*multicast.Compiled{7: group}
+	m := MustNew(cfg)
+
+	got := map[topo.NodeEp]int{}
+	for n := 0; n < m.Topo.NumNodes(); n++ {
+		for ep := 0; ep < topo.NumEndpoints; ep++ {
+			ne := topo.NodeEp{Node: n, Ep: ep}
+			m.Endpoint(ne).OnDeliver = func(p *packet.Packet, now uint64) bool {
+				if p.MGroup != 7 {
+					t.Errorf("delivered packet has group %d, want 7", p.MGroup)
+				}
+				got[topo.NodeEp{Node: n, Ep: p.Dst.Ep}]++
+				return false
+			}
+		}
+	}
+
+	src := topo.NodeEp{Node: shape.NodeID(root), Ep: m.Topo.Chip.CoreEndpoint(topo.MeshCoord{U: 1, V: 1})}
+	want := m.InjectMulticast(src, 7, route.ClassRequest, 0)
+	if want != len(dests) {
+		t.Fatalf("group reports %d deliveries, destination set has %d", want, len(dests))
+	}
+	if _, err := m.RunUntilDelivered(uint64(want), 500_000); err != nil {
+		t.Fatalf("multicast run: %v (delivered %d/%d)", err, m.Delivered(), want)
+	}
+
+	for _, d := range dests {
+		if got[d] != 1 {
+			t.Errorf("destination %v received %d copies, want 1", d, got[d])
+		}
+	}
+
+	// Inter-node bandwidth: total torus flits must equal the tree's hop
+	// count, not the (larger) unicast total.
+	var torusFlits uint64
+	base := m.Topo.NumNodes() * m.Topo.NumIntraChans()
+	for i := base; i < m.Topo.NumChannels(); i++ {
+		torusFlits += m.Chan(i).Sent
+	}
+	tree := multicast.Build(shape, root, dests, topo.AllDimOrders[0], 0)
+	if torusFlits != uint64(tree.TorusHops()) {
+		t.Errorf("torus carried %d flits, want tree's %d hops", torusFlits, tree.TorusHops())
+	}
+	uni := multicast.UnicastHops(shape, root, dests)
+	if torusFlits >= uint64(uni) {
+		t.Errorf("multicast used %d torus flits, unicast would use %d; no savings realized", torusFlits, uni)
+	}
+}
+
+// TestMulticastAllOrdersAndRoots exercises every dimension order from
+// several roots, including wraparound trees.
+func TestMulticastAllOrdersAndRoots(t *testing.T) {
+	shape := topo.Shape3(4, 4, 2)
+	for _, order := range topo.AllDimOrders {
+		for _, root := range []topo.NodeCoord{{X: 0, Y: 0, Z: 0}, {X: 3, Y: 3, Z: 1}} {
+			group, _ := buildGroup(t, shape, root, order)
+			cfg := DefaultConfig(shape)
+			cfg.Multicast = map[int]*multicast.Compiled{0: group}
+			m := MustNew(cfg)
+			src := topo.NodeEp{Node: shape.NodeID(root), Ep: 0}
+			want := m.InjectMulticast(src, 0, route.ClassReply, 1)
+			if _, err := m.RunUntilDelivered(uint64(want), 500_000); err != nil {
+				t.Fatalf("order %v root %v: %v (delivered %d/%d)", order, root, err, m.Delivered(), want)
+			}
+		}
+	}
+}
+
+// TestMulticastUnderLoad floods the machine with background unicast traffic
+// while repeatedly multicasting, checking deadlock freedom of the combined
+// traffic (each tree path is a valid unicast route, so the Section 2.5
+// analysis covers it).
+func TestMulticastUnderLoad(t *testing.T) {
+	shape := topo.Shape3(4, 4, 2)
+	root := topo.NodeCoord{X: 2, Y: 2, Z: 1}
+	group, _ := buildGroup(t, shape, root, topo.AllDimOrders[2])
+	cfg := DefaultConfig(shape)
+	cfg.Multicast = map[int]*multicast.Compiled{3: group}
+	m := MustNew(cfg)
+
+	rng := newTestRNG()
+	total := uint64(0)
+	for n := 0; n < m.Topo.NumNodes(); n++ {
+		for _, ep := range m.Topo.Chip.CoreEndpoints() {
+			src := topo.NodeEp{Node: n, Ep: ep}
+			for i := 0; i < 16; i++ {
+				dst := randomOtherCore(m.Topo, src, rng)
+				m.Endpoint(src).Inject(m.MakeRandomPacket(src, dst, route.ClassRequest, 0, rng))
+				total++
+			}
+		}
+	}
+	src := topo.NodeEp{Node: shape.NodeID(root), Ep: 1}
+	for i := 0; i < 8; i++ {
+		total += uint64(m.InjectMulticast(src, 3, route.ClassRequest, 0))
+	}
+	if _, err := m.RunUntilDelivered(total, 3_000_000); err != nil {
+		t.Fatalf("multicast under load: %v (delivered %d/%d)", err, m.Delivered(), total)
+	}
+}

@@ -1,0 +1,59 @@
+package machine
+
+import "anton2/internal/packet"
+
+// vcq is one virtual-channel input queue with head-of-line route state.
+// Capacity is enforced by upstream credits, not by the queue itself.
+type vcq struct {
+	pkts []*packet.Packet
+	head int
+
+	// Head-of-line state, valid while routed is true.
+	routed  bool
+	outPort int8
+	outVC   uint8
+	readyAt uint64
+
+	// branches holds a multicast head's replicated copies, sent one per
+	// cycle from the single buffered original (channel-adapter ingress
+	// replication); the head pops and its credit returns only after the
+	// last branch leaves.
+	branches []*packet.Packet
+}
+
+func (q *vcq) empty() bool { return q.head >= len(q.pkts) }
+
+func (q *vcq) headPkt() *packet.Packet { return q.pkts[q.head] }
+
+func (q *vcq) push(p *packet.Packet) { q.pkts = append(q.pkts, p) }
+
+// pop removes the head packet and invalidates the head route state so the
+// next packet is routed afresh.
+func (q *vcq) pop() *packet.Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.head = 0
+		q.pkts = q.pkts[:0]
+	} else if q.head >= 16 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	q.routed = false
+	q.branches = nil
+	return p
+}
+
+// flits returns the queued flit count (for buffer occupancy accounting).
+func (q *vcq) flits() int {
+	total := 0
+	for i := q.head; i < len(q.pkts); i++ {
+		total += int(q.pkts[i].Size)
+	}
+	return total
+}

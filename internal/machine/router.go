@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"fmt"
+
+	"anton2/internal/arbiter"
+	"anton2/internal/fabric"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// Router is one six-port on-chip mesh router. Its pipeline has four stages
+// (Figure 12): route computation (RC), VC allocation (VA), input switch
+// arbitration (SA1), and output switch arbitration (SA2). RC/VA/SA1 are
+// modeled as a fixed delay before a head packet may bid; SA1 then selects
+// one candidate VC per input port and SA2 one input per output port each
+// cycle, using the configured arbiter flavor.
+type Router struct {
+	m         *Machine
+	node      int
+	nodeCoord topo.NodeCoord
+	rc        topo.MeshCoord
+	routerID  int
+
+	ports  []routerPort
+	sa1    []arbiter.Arbiter // per input port, over VCs
+	sa2    []arbiter.Arbiter // per output port, over input ports
+	inBusy []uint64          // crossbar input occupancy (multi-flit packets)
+	cand   []int8            // SA1 winner VC per input port, -1 if none
+	pats   []uint8           // scratch pattern labels for arbiter picks
+
+	queued int
+}
+
+type routerPort struct {
+	in, out *fabric.Channel
+	vcs     []vcq
+}
+
+func newRouter(m *Machine, node int, rc topo.MeshCoord) *Router {
+	chip := m.Topo.Chip
+	cr := chip.RouterAt(rc)
+	r := &Router{
+		m:         m,
+		node:      node,
+		nodeCoord: m.Topo.Shape.Coord(node),
+		rc:        rc,
+		routerID:  topo.RouterID(rc),
+		ports:     make([]routerPort, len(cr.Ports)),
+		sa1:       make([]arbiter.Arbiter, len(cr.Ports)),
+		sa2:       make([]arbiter.Arbiter, len(cr.Ports)),
+		inBusy:    make([]uint64, len(cr.Ports)),
+		cand:      make([]int8, len(cr.Ports)),
+	}
+	maxVCScratch := route.MaxTotalVCs(m.Cfg.Scheme)
+	if maxVCScratch < len(cr.Ports) {
+		maxVCScratch = len(cr.Ports)
+	}
+	r.pats = make([]uint8, maxVCScratch)
+	maxVC := route.MaxTotalVCs(m.Cfg.Scheme)
+	for pi := range cr.Ports {
+		p := &cr.Ports[pi]
+		r.ports[pi] = routerPort{
+			in:  m.chans[m.Topo.IntraChanID(node, p.InChan)],
+			out: m.chans[m.Topo.IntraChanID(node, p.OutChan)],
+			vcs: make([]vcq, maxVC),
+		}
+		r.sa1[pi] = m.newArbiter(maxVC, m.sa1Weights(r.routerID, pi, maxVC))
+		r.sa2[pi] = m.newArbiter(len(cr.Ports), m.sa2Weights(r.routerID, pi, len(cr.Ports)))
+	}
+	return r
+}
+
+// Tick implements sim.Component.
+func (r *Router) Tick(now uint64) {
+	// Absorb credits and arrivals.
+	for pi := range r.ports {
+		ps := &r.ports[pi]
+		ps.out.AbsorbCredits(now)
+		for {
+			p, ok := ps.in.Recv(now)
+			if !ok {
+				break
+			}
+			p.ArrivedAt = now
+			if p.Trace != nil {
+				p.Tracepoint("router "+r.rc.String(), now)
+			}
+			ps.vcs[p.CurVC].push(p)
+			r.queued++
+		}
+	}
+	if r.queued == 0 {
+		return
+	}
+
+	// SA1: each input port nominates one (routed, credited) VC head.
+	for pi := range r.ports {
+		r.cand[pi] = -1
+		if r.inBusy[pi] > now {
+			continue
+		}
+		ps := &r.ports[pi]
+		var req uint64
+		for vci := range ps.vcs {
+			q := &ps.vcs[vci]
+			if q.empty() {
+				continue
+			}
+			if !q.routed {
+				r.routeHead(now, q)
+			}
+			if q.readyAt > now {
+				continue
+			}
+			h := q.headPkt()
+			if r.ports[q.outPort].out.CanSend(now, q.outVC, h.Size) {
+				req |= 1 << vci
+				r.pats[vci] = h.PatternID
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		g := r.sa1[pi].Pick(req, r.pats)
+		r.cand[pi] = int8(g)
+	}
+
+	// SA2: each output port grants one nominated input; transfer.
+	for po := range r.ports {
+		var req uint64
+		for pi := range r.ports {
+			if r.cand[pi] >= 0 && int(r.ports[pi].vcs[r.cand[pi]].outPort) == po {
+				req |= 1 << pi
+				r.pats[pi] = r.ports[pi].vcs[r.cand[pi]].headPkt().PatternID
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		g := r.sa2[po].Pick(req, r.pats)
+		pi := g
+		vci := uint8(r.cand[pi])
+		q := &r.ports[pi].vcs[vci]
+		outVC := q.outVC
+		p := q.pop()
+		r.queued--
+		r.ports[po].out.Send(now, p, outVC)
+		r.ports[pi].in.ReturnCredit(now, vci, p.Size)
+		r.inBusy[pi] = now + uint64(p.Size)
+		r.m.Engine.Progress()
+	}
+}
+
+// routeHead runs route computation for a queue's new head packet.
+func (r *Router) routeHead(now uint64, q *vcq) {
+	p := q.headPkt()
+	if p.SourceRoute != nil {
+		op := p.SourceRoute[p.SRIdx]
+		p.SRIdx++
+		if p.SRIdx == len(p.SourceRoute) && p.Circulate {
+			p.SRIdx = 0
+		}
+		if int(op) >= len(r.ports) {
+			panic(fmt.Sprintf("machine: source route names port %d at %s with %d ports", op, r.rc, len(r.ports)))
+		}
+		q.outPort = int8(op)
+		q.outVC = p.CurVC
+	} else {
+		port, vc := route.RouterNext(r.m.routeCfg, &p.Route, p.Dst, r.rc)
+		out := r.ports[port].out
+		q.outPort = int8(port)
+		q.outVC = uint8(route.PhysVC(r.m.Cfg.Scheme, out.Group, p.Route.Class, vc))
+	}
+	q.routed = true
+	q.readyAt = p.ArrivedAt + r.m.Cfg.RouterPipeline
+	if q.readyAt < now {
+		q.readyAt = now
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Pipe is a latency FIFO connecting two components. Items sent at cycle t
+// become receivable at cycle t+latency. Pipes are the only sanctioned way for
+// components to exchange state; because latency is at least one cycle, the
+// order in which components tick within a cycle cannot affect results.
+type Pipe[T any] struct {
+	latency uint64
+	head    int
+	q       []pipeEntry[T]
+}
+
+type pipeEntry[T any] struct {
+	at   uint64
+	item T
+}
+
+// NewPipe returns a pipe with the given latency in cycles (minimum 1).
+func NewPipe[T any](latency uint64) *Pipe[T] {
+	if latency == 0 {
+		latency = 1
+	}
+	return &Pipe[T]{latency: latency}
+}
+
+// Latency returns the pipe's delivery latency in cycles.
+func (p *Pipe[T]) Latency() uint64 { return p.latency }
+
+// Send enqueues an item at cycle now; it arrives at now+latency.
+func (p *Pipe[T]) Send(now uint64, v T) {
+	p.q = append(p.q, pipeEntry[T]{at: now + p.latency, item: v})
+}
+
+// SendAt enqueues an item that arrives at the explicit cycle at, which must
+// be at least now+1 for determinism. It is used to model serialized channels
+// whose delivery time depends on occupancy.
+func (p *Pipe[T]) SendAt(at uint64, v T) {
+	p.q = append(p.q, pipeEntry[T]{at: at, item: v})
+}
+
+// Peek returns the oldest item if it has arrived by cycle now.
+func (p *Pipe[T]) Peek(now uint64) (T, bool) {
+	var zero T
+	if p.head >= len(p.q) {
+		return zero, false
+	}
+	e := p.q[p.head]
+	if e.at > now {
+		return zero, false
+	}
+	return e.item, true
+}
+
+// Poll removes and returns the oldest item if it has arrived by cycle now.
+func (p *Pipe[T]) Poll(now uint64) (T, bool) {
+	v, ok := p.Peek(now)
+	if !ok {
+		return v, false
+	}
+	var zero T
+	p.q[p.head].item = zero // release for GC
+	p.head++
+	if p.head == len(p.q) {
+		p.head = 0
+		p.q = p.q[:0]
+	} else if p.head > 64 && p.head*2 >= len(p.q) {
+		n := copy(p.q, p.q[p.head:])
+		for i := n; i < len(p.q); i++ {
+			p.q[i].item = zero
+		}
+		p.q = p.q[:n]
+		p.head = 0
+	}
+	return v, true
+}
+
+// Empty reports whether the pipe holds no items (arrived or in flight).
+func (p *Pipe[T]) Empty() bool { return p.head >= len(p.q) }
+
+// Len returns the number of items in the pipe (arrived or in flight).
+func (p *Pipe[T]) Len() int { return len(p.q) - p.head }

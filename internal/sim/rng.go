@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// NewRNG returns a deterministic random source derived from a master seed and
+// a component name, so every component gets an independent but reproducible
+// stream regardless of construction order.
+func NewRNG(seed uint64, name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(seed ^ h.Sum64())))
+}
+
+// SplitMix64 advances a simple splittable PRNG state; useful for cheap,
+// allocation-free per-packet randomization.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, xi := range x {
+		y[i] = 80.7 + 39.1*xi // the paper's Figure 11 fit
+	}
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-39.1) > 1e-9 || math.Abs(intercept-80.7) > 1e-9 {
+		t.Errorf("fit = %g + %g x", intercept, slope)
+	}
+	if r2 < 0.999999 {
+		t.Errorf("r2 = %g for exact line", r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 5+2*xi+rng.NormFloat64()*0.5)
+	}
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-2) > 0.05 || math.Abs(intercept-5) > 1 {
+		t.Errorf("fit = %g + %g x", intercept, slope)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %g", r2)
+	}
+}
+
+func TestLeastSquaresRecoversModel(t *testing.T) {
+	// Generate samples from the paper's energy model form:
+	// E = c0 + c1*h + c2*(a/r) + c3*n*(a/r).
+	truth := []float64{42.7, 0.837, 34.4, 0.250}
+	rng := rand.New(rand.NewSource(2))
+	var rows [][]float64
+	var b []float64
+	for i := 0; i < 100; i++ {
+		h := rng.Float64() * 192
+		ar := rng.Float64()
+		n := rng.Float64() * 128
+		rows = append(rows, []float64{1, h, ar, n * ar})
+		b = append(b, truth[0]+truth[1]*h+truth[2]*ar+truth[3]*n*ar)
+	}
+	w := LeastSquares(rows, b)
+	for i := range truth {
+		if math.Abs(w[i]-truth[i]) > 1e-6 {
+			t.Errorf("coefficient %d = %g, want %g", i, w[i], truth[i])
+		}
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2) > 1e-9 {
+		t.Errorf("stddev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %g", p)
+	}
+	if p := Percentile(xs, 1); p != 1 {
+		t.Errorf("p1 = %g", p)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{1, 1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal shares: %g", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("single hog: %g, want 0.25", j)
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total != 100 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median ~ %g", med)
+	}
+	h.Add(-5)  // clamps low
+	h.Add(500) // clamps high
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+}
