@@ -38,6 +38,7 @@ import (
 	"anton2/internal/area"
 	"anton2/internal/core"
 	"anton2/internal/deadlock"
+	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/multicast"
 	"anton2/internal/packaging"
@@ -168,6 +169,40 @@ const (
 	PayloadOnes   = core.PayloadOnes
 	PayloadRandom = core.PayloadRandom
 )
+
+// Parallel experiment orchestration (internal/exp): sweeps fan independent
+// points out over a bounded worker pool with per-point seeds derived from
+// canonical spec hashes, so any pool size — including serial — produces
+// bit-identical results.
+type (
+	// SweepOptions configures a sweep execution: worker-pool size,
+	// retries, result cache, and progress reporting.
+	SweepOptions = exp.Options
+	// SweepResult is the structured per-point outcome written to JSON
+	// artifacts.
+	SweepResult = exp.Result
+)
+
+// SerialSweep runs sweep points one at a time in order.
+func SerialSweep() SweepOptions { return exp.Serial() }
+
+// ParallelSweep runs sweep points over a worker pool (0 = GOMAXPROCS).
+func ParallelSweep(workers int) SweepOptions { return exp.Parallel(workers) }
+
+// ThroughputSweepOpts runs a batch-size sweep through the orchestrator.
+func ThroughputSweepOpts(cfg ThroughputConfig, batches []int, opts SweepOptions) ([]ThroughputResult, error) {
+	return core.ThroughputSweepOpts(cfg, batches, opts)
+}
+
+// BlendSweepOpts runs a blend-fraction sweep through the orchestrator.
+func BlendSweepOpts(cfg BlendConfig, fractions []float64, opts SweepOptions) ([]BlendResult, error) {
+	return core.BlendSweepOpts(cfg, fractions, opts)
+}
+
+// EnergySweepOpts runs an injection-rate sweep through the orchestrator.
+func EnergySweepOpts(mcfg Config, model power.Model, payload PayloadKind, rates [][2]int, flits int, opts SweepOptions) ([]EnergyPoint, error) {
+	return core.EnergySweepOpts(mcfg, model, payload, rates, flits, opts)
+}
 
 // RunThroughput executes one Figure 9 style batch measurement.
 func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) { return core.RunThroughput(cfg) }

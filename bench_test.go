@@ -5,7 +5,9 @@ package anton2
 // through b.ReportMetric and printing the full rows/series under -v. The
 // defaults favor runtimes of seconds to tens of seconds per figure; set
 // ANTON2_BENCH_FULL=1 for larger machines and batches closer to the paper's
-// 512-node measurements (minutes per figure).
+// 512-node measurements (minutes per figure). The sweep benchmarks fan their
+// points out over the internal/exp worker pool; per-point seeds derive from
+// spec hashes, so the measured values are independent of the pool size.
 
 import (
 	"fmt"
@@ -83,11 +85,11 @@ func BenchmarkFig9Throughput(b *testing.B) {
 					if arb.kind == 1 {
 						mc.Arbiter = InverseWeightedArbiters
 					}
-					rs, err := ThroughputSweep(ThroughputConfig{
+					rs, err := ThroughputSweepOpts(ThroughputConfig{
 						Machine:        mc,
 						Pattern:        pat,
 						WeightPatterns: []Pattern{Uniform{}},
-					}, benchBatches())
+					}, benchBatches(), ParallelSweep(0))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -119,11 +121,11 @@ func BenchmarkFig10Blend(b *testing.B) {
 	for _, mode := range []WeightMode{WeightsNone, WeightsForward, WeightsReverse, WeightsBoth} {
 		b.Run(mode.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rs, err := BlendSweep(BlendConfig{
+				rs, err := BlendSweepOpts(BlendConfig{
 					Machine: DefaultConfig(benchShape()),
 					Weights: mode,
 					Batch:   batch,
-				}, fractions)
+				}, fractions, ParallelSweep(0))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,7 +203,7 @@ func BenchmarkFig13Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var all []EnergyPoint
 		for _, payload := range []PayloadKind{PayloadZeros, PayloadOnes, PayloadRandom} {
-			pts, err := EnergySweep(mc, PaperEnergyModel, payload, rates, flits)
+			pts, err := EnergySweepOpts(mc, PaperEnergyModel, payload, rates, flits, ParallelSweep(0))
 			if err != nil {
 				b.Fatal(err)
 			}

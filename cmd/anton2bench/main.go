@@ -4,21 +4,28 @@
 //
 // Usage:
 //
-//	anton2bench [-quick] [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
+//	anton2bench [-quick] [-parallel N] [-json dir]
+//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
 //
 // Without -quick, the saturation experiments run on an 8x4x2 machine with
 // batches up to 1024 packets per core (minutes); -quick shrinks them to
-// seconds.
+// seconds. Simulation figures fan their independent points out over a
+// -parallel-sized worker pool (0 = GOMAXPROCS) with per-point seeds derived
+// from the experiment specs, so any pool size produces identical results.
+// With -json, each figure also writes a structured artifact
+// (<dir>/<figure>.json) with per-point values, seeds, and wall times.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"anton2/internal/area"
 	"anton2/internal/core"
 	"anton2/internal/deadlock"
+	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/multicast"
 	"anton2/internal/packaging"
@@ -29,7 +36,33 @@ import (
 	"anton2/internal/wctraffic"
 )
 
-var quick = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+var (
+	quick    = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+	parallel = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	jsonDir  = flag.String("json", "", "write per-figure JSON artifacts under this directory")
+)
+
+// resultCache memoizes simulation points across figures within one
+// invocation, so `all` never re-runs a shared configuration.
+var resultCache = exp.NewCache()
+
+// experiments maps names to runners, in `all` execution order.
+var experiments = []struct {
+	name string
+	run  func() error
+}{
+	{"fig4", fig4}, {"deadlock", deadlockCheck}, {"fig2", fig2}, {"fig3", fig3},
+	{"table1", table1}, {"table2", table2}, {"fig12", fig12}, {"fig13", fig13},
+	{"fig11", fig11}, {"fig9", fig9}, {"fig10", fig10},
+}
+
+func validNames() []string {
+	names := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return append(names, "all")
+}
 
 func main() {
 	flag.Parse()
@@ -37,24 +70,57 @@ func main() {
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	run := map[string]func(){
-		"fig4": fig4, "fig9": fig9, "fig10": fig10, "fig11": fig11,
-		"fig12": fig12, "fig13": fig13, "table1": table1, "table2": table2,
-		"fig3": fig3, "fig2": fig2, "deadlock": deadlockCheck,
-	}
 	if what == "all" {
-		for _, name := range []string{"fig4", "deadlock", "fig2", "fig3", "table1", "table2", "fig12", "fig13", "fig11", "fig9", "fig10"} {
-			run[name]()
+		failed := 0
+		for _, e := range experiments {
+			if err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "anton2bench: %s failed: %v\n", e.name, err)
+				failed++
+			}
 			fmt.Println()
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "anton2bench: %d of %d experiments failed\n", failed, len(experiments))
+			os.Exit(1)
 		}
 		return
 	}
-	f, ok := run[what]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q\n", what)
-		os.Exit(1)
+	for _, e := range experiments {
+		if e.name == what {
+			if err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "anton2bench: %s failed: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
-	f()
+	fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q (valid: %s)\n",
+		what, strings.Join(validNames(), ", "))
+	os.Exit(1)
+}
+
+// sweep runs one figure's jobs through the orchestrator, writes artifacts
+// when -json is set, and returns the results plus an error covering any
+// failed points (the healthy points are still returned and printed).
+func sweep(name string, jobs []exp.Job) ([]exp.Result, error) {
+	rs := exp.Run(jobs, exp.Options{
+		Name:        name,
+		Parallelism: *parallel,
+		Cache:       resultCache,
+		Progress:    os.Stderr,
+	})
+	if *jsonDir != "" {
+		path, err := exp.WriteArtifacts(*jsonDir, name, rs)
+		if err != nil {
+			return rs, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", name, path)
+	}
+	var err error
+	if n := exp.Failed(rs); n > 0 {
+		err = fmt.Errorf("%d of %d points failed: %w", n, len(rs), exp.FirstErr(rs))
+	}
+	return rs, err
 }
 
 func satShape() topo.TorusShape {
@@ -73,7 +139,7 @@ func header(title, paper string) {
 	fmt.Println("paper:   ", paper)
 }
 
-func fig4() {
+func fig4() error {
 	header("Figure 4 / permutation (1): worst-case on-chip switching",
 		"optimized direction order limits worst-case mesh load to 2 torus channels")
 	chip := topo.DefaultChip()
@@ -95,9 +161,10 @@ func fig4() {
 		fmt.Printf(" %3v", d)
 	}
 	fmt.Println()
+	return nil
 }
 
-func deadlockCheck() {
+func deadlockCheck() error {
 	header("Section 2.5: VC schemes", "Anton scheme needs n+1=4 T-group VCs per class (vs 2n=6), deadlock-free")
 	shape := topo.Shape3(4, 4, 4)
 	for _, s := range []route.Scheme{route.AntonScheme{}, route.BaselineScheme{}} {
@@ -110,14 +177,14 @@ func deadlockCheck() {
 		}
 		fmt.Printf("measured: %-12s T:%d M:%d VCs/class on %v -> %s\n", s.Name(), s.TorusVCs(), s.MeshVCs(), shape, verdict)
 	}
+	return nil
 }
 
-func fig2() {
+func fig2() error {
 	header("Figure 2: packaging", "512 nodes = 32 backplanes (16 nodecards each) in 4 racks")
 	plan, err := packaging.Build(topo.Shape3(8, 8, 8))
 	if err != nil {
-		fmt.Println("error:", err)
-		return
+		return err
 	}
 	fmt.Printf("measured: %d backplanes in %d racks; media:\n", plan.NumBackplanes(), plan.NumRacks())
 	stats := plan.Stats()
@@ -126,9 +193,10 @@ func fig2() {
 		l := packaging.Link{Medium: m, LengthCM: s.TotalCM / float64(s.Links)}
 		fmt.Printf("            %-18s %5d links, latency %2d cycles\n", m, s.Links, l.LatencyCycles())
 	}
+	return nil
 }
 
-func fig3() {
+func fig3() error {
 	header("Figure 3: multicast", "broadcast to a plane neighborhood saves 12 torus hops vs unicast")
 	shape := topo.Shape3(8, 8, 8)
 	root := topo.NodeCoord{X: 4, Y: 4, Z: 4}
@@ -143,17 +211,19 @@ func fig3() {
 	uniB := multicast.UnicastHops(shape, root, both)
 	fmt.Printf("          with 2 endpoint copies per node: unicast %d, tree %d, saved %d (savings multiply)\n",
 		uniB, treeB.TorusHops(), uniB-treeB.TorusHops())
+	return nil
 }
 
-func table1() {
+func table1() error {
 	header("Table 1: component die area", "router 3.4%, endpoint adapter 1.1%, channel adapter 4.7%")
 	t1 := area.Compute(area.Default()).Table1()
 	fmt.Printf("measured: router %.1f%%, endpoint adapter %.1f%%, channel adapter %.1f%% (total %.1f%% < 10%%)\n",
 		t1[area.Router], t1[area.EndpointAdapter], t1[area.ChannelAdapter],
 		t1[area.Router]+t1[area.EndpointAdapter]+t1[area.ChannelAdapter])
+	return nil
 }
 
-func table2() {
+func table2() error {
 	header("Table 2: network area by category",
 		"queues 46.6, reduction 9.6, link 8.9, config 8.6, debug 7.8, misc 7.3, multicast 5.7, arbiters 5.4 (%)")
 	byComp, total := area.Compute(area.Default()).Table2()
@@ -166,9 +236,10 @@ func table2() {
 	cfg.Scheme = route.BaselineScheme{}
 	growth := area.Compute(cfg).NetworkTotal()/area.Compute(area.Default()).NetworkTotal() - 1
 	fmt.Printf("          ablation: baseline 2n-VC scheme costs +%.1f%% network area\n", 100*growth)
+	return nil
 }
 
-func fig12() {
+func fig12() error {
 	header("Figure 12: minimum-latency decomposition", "99 ns nearest-neighbor one-way; network only ~40%")
 	cfg := core.DefaultLatencyConfig(topo.Shape3(4, 4, 4))
 	comps := core.DecomposeMinLatency(cfg)
@@ -184,16 +255,19 @@ func fig12() {
 		fmt.Printf("          %-30s %5.1f ns\n", c.Name, c.NS)
 	}
 	fmt.Printf("          total %.1f ns, network share %.0f%%\n", total, 100*network/total)
-	if traced, err := core.MeasureDecomposition(cfg); err == nil {
-		fmt.Println("traced packet (simulated):")
-		for _, c := range traced {
-			fmt.Printf("          %-30s %5.1f ns\n", c.Name, c.NS)
-		}
-		fmt.Printf("          total %.1f ns\n", core.TotalNS(traced))
+	traced, err := core.MeasureDecomposition(cfg)
+	if err != nil {
+		return err
 	}
+	fmt.Println("traced packet (simulated):")
+	for _, c := range traced {
+		fmt.Printf("          %-30s %5.1f ns\n", c.Name, c.NS)
+	}
+	fmt.Printf("          total %.1f ns\n", core.TotalNS(traced))
+	return nil
 }
 
-func fig13() {
+func fig13() error {
 	header("Figure 13: router energy vs injection rate",
 		"E = 42.7 + 0.837h + (34.4 + 0.250n)(a/r) pJ; energy falls as rate rises past 0.5")
 	mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
@@ -202,31 +276,49 @@ func fig13() {
 		flits = 400
 	}
 	rates := [][2]int{{1, 8}, {1, 4}, {1, 2}, {5, 8}, {3, 4}, {7, 8}, {1, 1}}
-	var all []core.EnergyPoint
+	payloads := []core.PayloadKind{core.PayloadZeros, core.PayloadOnes, core.PayloadRandom}
+
+	var jobs []exp.Job
+	for _, payload := range payloads {
+		for _, r := range rates {
+			jobs = append(jobs, core.EnergyJob(core.EnergyConfig{
+				Machine: mc, Model: power.PaperModel,
+				RateNum: r[0], RateDen: r[1],
+				Payload: payload, Flits: flits,
+			}))
+		}
+	}
+	rs, sweepErr := sweep("fig13", jobs)
+
 	fmt.Printf("measured: %-7s", "rate")
 	for _, r := range rates {
 		fmt.Printf(" %6.3f", float64(r[0])/float64(r[1]))
 	}
 	fmt.Println()
-	for _, payload := range []core.PayloadKind{core.PayloadZeros, core.PayloadOnes, core.PayloadRandom} {
-		pts, err := core.EnergySweep(mc, power.PaperModel, payload, rates, flits)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
+	var all []core.EnergyPoint
+	for pi, payload := range payloads {
 		fmt.Printf("          %-7s", payload)
-		for _, p := range pts {
-			fmt.Printf(" %6.1f", p.PerFlitPJ)
+		for ri := range rates {
+			r := rs[pi*len(rates)+ri]
+			if r.Err != nil {
+				fmt.Printf(" %6s", "FAIL")
+				continue
+			}
+			pt := r.Value.(core.EnergyPoint)
+			fmt.Printf(" %6.1f", pt.PerFlitPJ)
+			all = append(all, pt)
 		}
 		fmt.Println(" pJ/flit")
-		all = append(all, pts...)
 	}
-	m := core.FitEnergyModel(all)
-	fmt.Printf("          refit: E = %.1f + %.3fh + (%.1f + %.3fn)(a/r) pJ\n",
-		m.Fixed, m.PerBitFlip, m.PerActivation, m.PerActSetBit)
+	if len(all) == len(jobs) {
+		m := core.FitEnergyModel(all)
+		fmt.Printf("          refit: E = %.1f + %.3fh + (%.1f + %.3fn)(a/r) pJ\n",
+			m.Fixed, m.PerBitFlip, m.PerActivation, m.PerActSetBit)
+	}
+	return sweepErr
 }
 
-func fig11() {
+func fig11() error {
 	header("Figure 11: one-way latency vs hops", "80.7 ns fixed + 39.1 ns/hop; minimum 99 ns")
 	// 4x4x4 keeps the run in seconds; the fit quality does not depend on
 	// the maximum hop count (the paper's 8x8x8 reaches 12 hops).
@@ -234,54 +326,72 @@ func fig11() {
 	if *quick {
 		shape = topo.Shape3(4, 4, 2)
 	}
-	cfg := core.DefaultLatencyConfig(shape)
-	res, err := core.RunLatency(cfg)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
+	rs, sweepErr := sweep("fig11", []exp.Job{core.LatencyJob(core.DefaultLatencyConfig(shape))})
+	if sweepErr != nil {
+		return sweepErr
 	}
+	res := rs[0].Value.(core.LatencyResult)
 	fmt.Printf("measured: %.1f ns fixed + %.1f ns/hop (r2=%.4f); minimum %.1f ns on %v\n",
 		res.InterceptNS, res.SlopeNS, res.R2, res.MinNS, shape)
 	for _, p := range res.Points {
 		fmt.Printf("          hops=%2d  %6.1f ns\n", p.Hops, p.MeanNS)
 	}
+	return nil
 }
 
-func fig9() {
+func fig9() error {
 	header("Figure 9: throughput beyond saturation",
 		"RR: uniform falls below 60%; IW: ~90% stable (8x8x8, weights from uniform loads)")
 	batches := []int{64, 256, 1024}
 	if *quick {
 		batches = []int{32, 128}
 	}
-	for _, pat := range []traffic.Pattern{traffic.NHop{N: 2}, traffic.Uniform{}} {
-		for _, arb := range []struct {
-			name string
-			iw   bool
-		}{{"round-robin", false}, {"inverse-weighted", true}} {
-			mc := machine.DefaultConfig(satShape())
-			if arb.iw {
-				mc.Arbiter = 1
+	patterns := []traffic.Pattern{traffic.NHop{N: 2}, traffic.Uniform{}}
+	arbs := []struct {
+		name string
+		iw   bool
+	}{{"round-robin", false}, {"inverse-weighted", true}}
+
+	var jobs []exp.Job
+	for _, pat := range patterns {
+		for _, arb := range arbs {
+			for _, b := range batches {
+				mc := machine.DefaultConfig(satShape())
+				if arb.iw {
+					mc.Arbiter = 1
+				}
+				jobs = append(jobs, core.ThroughputJob(core.ThroughputConfig{
+					Machine:        mc,
+					Pattern:        pat,
+					WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
+					Batch:          b,
+				}))
 			}
-			rs, err := core.ThroughputSweep(core.ThroughputConfig{
-				Machine:        mc,
-				Pattern:        pat,
-				WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
-			}, batches)
-			if err != nil {
-				fmt.Println("error:", err)
-				return
-			}
+		}
+	}
+	rs, sweepErr := sweep("fig9", jobs)
+
+	i := 0
+	for _, pat := range patterns {
+		for _, arb := range arbs {
 			fmt.Printf("measured: %-8s %-16s on %v:", pat.Name(), arb.name, satShape())
-			for _, r := range rs {
-				fmt.Printf("  batch %4d: %.3f (fair %.3f)", r.Batch, r.Normalized, r.Fairness)
+			for bi := range batches {
+				r := rs[i]
+				i++
+				if r.Err != nil {
+					fmt.Printf("  batch %4d: FAILED", batches[bi])
+					continue
+				}
+				tr := r.Value.(core.ThroughputResult)
+				fmt.Printf("  batch %4d: %.3f (fair %.3f)", tr.Batch, tr.Normalized, tr.Fairness)
 			}
 			fmt.Println()
 		}
 	}
+	return sweepErr
 }
 
-func fig10() {
+func fig10() error {
 	header("Figure 10: blending tornado and reverse tornado",
 		"Both-weights ~85% across all blends; single weights fall off away from their pattern; None lowest")
 	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
@@ -290,25 +400,39 @@ func fig10() {
 		fractions = []float64{0, 0.5, 1}
 		batch = 96
 	}
+	modes := []core.WeightMode{core.WeightsNone, core.WeightsForward, core.WeightsReverse, core.WeightsBoth}
+
+	var jobs []exp.Job
+	for _, mode := range modes {
+		for _, f := range fractions {
+			jobs = append(jobs, core.BlendJob(core.BlendConfig{
+				Machine:         machine.DefaultConfig(satShape()),
+				Weights:         mode,
+				ForwardFraction: f,
+				Batch:           batch,
+			}))
+		}
+	}
+	rs, sweepErr := sweep("fig10", jobs)
+
 	fmt.Printf("measured: %-8s", "weights")
 	for _, f := range fractions {
 		fmt.Printf("  f=%.2f", f)
 	}
 	fmt.Println("   (f = tornado fraction)")
-	for _, mode := range []core.WeightMode{core.WeightsNone, core.WeightsForward, core.WeightsReverse, core.WeightsBoth} {
-		rs, err := core.BlendSweep(core.BlendConfig{
-			Machine: machine.DefaultConfig(satShape()),
-			Weights: mode,
-			Batch:   batch,
-		}, fractions)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
+	i := 0
+	for _, mode := range modes {
 		fmt.Printf("          %-8v", mode)
-		for _, r := range rs {
-			fmt.Printf("  %6.3f", r.Normalized)
+		for range fractions {
+			r := rs[i]
+			i++
+			if r.Err != nil {
+				fmt.Printf("  %6s", "FAIL")
+				continue
+			}
+			fmt.Printf("  %6.3f", r.Value.(core.BlendResult).Normalized)
 		}
 		fmt.Println()
 	}
+	return sweepErr
 }

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
-//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1]
+//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir]
+//
+// The run goes through the internal/exp orchestrator: the simulation seed is
+// derived from a canonical hash of the full configuration (the -seed value
+// is one input to that hash), and -json writes the structured result
+// artifact under the given directory.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"anton2/internal/arbiter"
 	"anton2/internal/core"
+	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/route"
 	"anton2/internal/topo"
@@ -27,7 +33,8 @@ func main() {
 	arbFlag := flag.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
 	batch := flag.Int("batch", 256, "packets per core")
 	schemeFlag := flag.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
-	seed := flag.Uint64("seed", 1, "random seed")
+	seed := flag.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
+	jsonDir := flag.String("json", "", "write a JSON result artifact under this directory")
 	flag.Parse()
 
 	shape, err := parseShape(*shapeFlag)
@@ -57,13 +64,20 @@ func main() {
 	fmt.Printf("simulating %v, %d cores/node, pattern %s, %s arbiters, %s VC scheme, batch %d\n",
 		shape, topo.NumRouters, pattern.Name(), mc.Arbiter, mc.Scheme.Name(), *batch)
 
-	res, err := core.RunThroughput(core.ThroughputConfig{
+	job := core.ThroughputJob(core.ThroughputConfig{
 		Machine:        mc,
 		Pattern:        pattern,
 		WeightPatterns: []traffic.Pattern{pattern},
 		Batch:          *batch,
 	})
-	fail(err)
+	rs := exp.Run([]exp.Job{job}, exp.Serial())
+	if *jsonDir != "" {
+		path, err := exp.WriteArtifacts(*jsonDir, "anton2sim", rs)
+		fail(err)
+		fmt.Fprintln(os.Stderr, "anton2sim: wrote", path)
+	}
+	fail(exp.FirstErr(rs))
+	res := rs[0].Value.(core.ThroughputResult)
 
 	packets := uint64(shape.NumNodes()) * uint64(topo.NumRouters) * uint64(*batch)
 	fmt.Printf("\n  packets delivered:      %d\n", packets)

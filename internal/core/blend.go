@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"anton2/internal/exp"
+
 	"anton2/internal/arbiter"
 	"anton2/internal/loadcalc"
 	"anton2/internal/machine"
@@ -156,17 +158,11 @@ func RunBlend(cfg BlendConfig) (BlendResult, error) {
 	}, nil
 }
 
-// BlendSweep measures a set of blend fractions under one weight mode.
+// BlendSweep measures a set of blend fractions under one weight mode through
+// the orchestrator, serially; BlendSweepOpts exposes the worker pool. The
+// per-point tornado/reverse-tornado loads used for weights and normalization
+// come from the shared loads cache, so they are computed once per machine
+// configuration rather than once per fraction.
 func BlendSweep(cfg BlendConfig, fractions []float64) ([]BlendResult, error) {
-	out := make([]BlendResult, 0, len(fractions))
-	for _, f := range fractions {
-		c := cfg
-		c.ForwardFraction = f
-		r, err := RunBlend(c)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return BlendSweepOpts(cfg, fractions, exp.Serial())
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/exp"
+	"anton2/internal/loadcalc"
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// sharedLoads memoizes loadcalc.Compute results per (routing configuration,
+// pattern). Load computation is purely analytic — it depends only on the
+// shape, scheme, direction order, and skip policy — so one computation per
+// distinct key serves every sweep point and every weight-table build, serial
+// or parallel. Cached *loadcalc.Loads are shared read-only.
+var sharedLoads = exp.NewCache()
+
+// loadsKey canonically identifies the inputs of a pattern-load computation.
+// Patterns are keyed by Name(), which uniquely identifies every pattern in
+// internal/traffic; custom Permutation patterns must use distinct labels.
+func loadsKey(cfg machine.Config, p traffic.Pattern) string {
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = route.AntonScheme{}
+	}
+	return fmt.Sprintf("loads{shape=%v scheme=%s dir=%v skip=%v exitskip=%v pattern=%s}",
+		cfg.Shape, scheme.Name(), cfg.DirOrder, cfg.UseSkip, cfg.ExitSkip, p.Name())
+}
+
+// computeLoads is the uncached load computation behind PatternLoads.
+func computeLoads(cfg machine.Config, p traffic.Pattern) (*loadcalc.Loads, error) {
+	tm, err := topo.NewMachine(cfg.Shape)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := &route.Config{
+		Machine:  tm,
+		Scheme:   cfg.Scheme,
+		DirOrder: cfg.DirOrder,
+		UseSkip:  cfg.UseSkip,
+		ExitSkip: cfg.ExitSkip,
+	}
+	if rcfg.Scheme == nil {
+		rcfg.Scheme = route.AntonScheme{}
+	}
+	return loadcalc.Compute(rcfg, tm.Chip.CoreEndpoints(), p.Flows(tm), route.ClassRequest), nil
+}
+
+// CachedLoadsLen reports how many distinct (configuration, pattern) load
+// tables are currently cached (instrumentation for tests and EXPERIMENTS.md
+// timing notes).
+func CachedLoadsLen() int { return sharedLoads.Len() }

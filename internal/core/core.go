@@ -21,26 +21,20 @@ import (
 // BuildMachine constructs a simulated machine, computing inverse-weight
 // tables from the given weight patterns when the configuration asks for
 // inverse-weighted arbitration. It returns the machine and the per-pattern
-// loads (also used for throughput normalization).
+// loads (also used for throughput normalization). Weight loads come from the
+// shared per-(configuration, pattern) cache, so repeated builds across sweep
+// points reuse one computation.
 func BuildMachine(cfg machine.Config, weightPatterns ...traffic.Pattern) (*machine.Machine, []*loadcalc.Loads, error) {
-	tm, err := topo.NewMachine(cfg.Shape)
-	if err != nil {
-		return nil, nil, err
-	}
-	rcfg := &route.Config{
-		Machine:  tm,
-		Scheme:   cfg.Scheme,
-		DirOrder: cfg.DirOrder,
-		UseSkip:  cfg.UseSkip,
-		ExitSkip: cfg.ExitSkip,
-	}
-	if rcfg.Scheme == nil {
-		rcfg.Scheme = route.AntonScheme{}
-		cfg.Scheme = rcfg.Scheme
+	if cfg.Scheme == nil {
+		cfg.Scheme = route.AntonScheme{}
 	}
 	var loads []*loadcalc.Loads
 	for _, p := range weightPatterns {
-		loads = append(loads, loadcalc.Compute(rcfg, tm.Chip.CoreEndpoints(), p.Flows(tm), route.ClassRequest))
+		l, err := PatternLoads(cfg, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		loads = append(loads, l)
 	}
 	if cfg.Arbiter == arbiter.KindInverseWeighted {
 		if len(loads) == 0 {
@@ -55,24 +49,19 @@ func BuildMachine(cfg machine.Config, weightPatterns ...traffic.Pattern) (*machi
 	return m, loads, nil
 }
 
-// PatternLoads computes the expected loads of a traffic pattern for a
-// machine configuration (used for normalization without building weights).
+// PatternLoads returns the expected loads of a traffic pattern for a machine
+// configuration (used for normalization without building weights). Results
+// are memoized per (routing configuration, pattern) and shared read-only:
+// every point of a sweep — and concurrent jobs in a parallel sweep — reuse
+// the first computation.
 func PatternLoads(cfg machine.Config, p traffic.Pattern) (*loadcalc.Loads, error) {
-	tm, err := topo.NewMachine(cfg.Shape)
+	v, _, err := sharedLoads.Do(loadsKey(cfg, p), func() (any, error) {
+		return computeLoads(cfg, p)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rcfg := &route.Config{
-		Machine:  tm,
-		Scheme:   cfg.Scheme,
-		DirOrder: cfg.DirOrder,
-		UseSkip:  cfg.UseSkip,
-		ExitSkip: cfg.ExitSkip,
-	}
-	if rcfg.Scheme == nil {
-		rcfg.Scheme = route.AntonScheme{}
-	}
-	return loadcalc.Compute(rcfg, tm.Chip.CoreEndpoints(), p.Flows(tm), route.ClassRequest), nil
+	return v.(*loadcalc.Loads), nil
 }
 
 // BlendedSaturationRate returns the per-core saturation injection rate of a

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"anton2/internal/exp"
+
 	"anton2/internal/machine"
 	"anton2/internal/packet"
 	"anton2/internal/power"
@@ -237,21 +239,10 @@ func RunEnergy(cfg EnergyConfig) (EnergyPoint, error) {
 }
 
 // EnergySweep measures per-flit energy across injection rates for one
-// payload pattern (one Figure 13 curve).
+// payload pattern (one Figure 13 curve) through the orchestrator, serially;
+// EnergySweepOpts exposes the worker pool.
 func EnergySweep(mcfg machine.Config, model power.Model, payload PayloadKind, rates [][2]int, flits int) ([]EnergyPoint, error) {
-	out := make([]EnergyPoint, 0, len(rates))
-	for _, r := range rates {
-		pt, err := RunEnergy(EnergyConfig{
-			Machine: mcfg, Model: model,
-			RateNum: r[0], RateDen: r[1],
-			Payload: payload, Flits: flits,
-		})
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return EnergySweepOpts(mcfg, model, payload, rates, flits, exp.Serial())
 }
 
 // FitEnergyModel refits the Section 4.5 model to measured points.

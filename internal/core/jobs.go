@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"anton2/internal/exp"
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/traffic"
+
+	"anton2/internal/power"
+)
+
+// This file adapts the figure runners to the internal/exp orchestrator: each
+// experiment configuration becomes an exp.Job whose spec canonically encodes
+// every result-affecting parameter. The job's machine seed is derived from
+// the spec hash (exp.Spec.Seed), so a point's random streams depend only on
+// what it measures — never on worker scheduling — and serial and parallel
+// sweeps are bit-identical.
+
+// SimCycles lets exp record simulated cycle counts in artifacts.
+func (r ThroughputResult) SimCycles() uint64 { return r.Cycles }
+
+// SimCycles lets exp record simulated cycle counts in artifacts.
+func (r BlendResult) SimCycles() uint64 { return r.Cycles }
+
+// addMachine encodes every result-affecting machine.Config field into the
+// spec. Function-valued and table-valued fields (LinkLatency, Multicast,
+// Weights) are encoded by presence: weights are derived from the listed
+// weight patterns, and the sweeps in this package never set the other two.
+func addMachine(s *exp.Spec, cfg machine.Config) *exp.Spec {
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = route.AntonScheme{}
+	}
+	s.Add("shape", cfg.Shape).
+		Add("scheme", scheme.Name()).
+		Add("dir", cfg.DirOrder).
+		Add("skip", cfg.UseSkip).
+		Add("exitskip", cfg.ExitSkip).
+		Add("arb", cfg.Arbiter).
+		Add("meshbuf", cfg.MeshVCBuf).
+		Add("torusbuf", cfg.TorusVCBuf).
+		Add("rpipe", cfg.RouterPipeline).
+		Add("apipe", cfg.AdapterPipeline).
+		Add("epipe", cfg.EndpointPipeline).
+		Add("meshlat", cfg.MeshLatency).
+		Add("toruslat", cfg.TorusLatency).
+		Add("creditlat", cfg.CreditLatency).
+		Add("linklat", cfg.LinkLatency != nil).
+		Add("rate", cfg.TorusRateMilli).
+		Add("energy", cfg.TrackEnergy).
+		Add("mcast", cfg.Multicast != nil).
+		Add("seed", cfg.Seed)
+	return s
+}
+
+func patternNames(pats []traffic.Pattern) string {
+	names := ""
+	for i, p := range pats {
+		if i > 0 {
+			names += "+"
+		}
+		names += p.Name()
+	}
+	return names
+}
+
+// ThroughputSpec canonically identifies one Figure 9 style point.
+func ThroughputSpec(cfg ThroughputConfig) *exp.Spec {
+	s := exp.NewSpec("throughput")
+	addMachine(s, cfg.Machine)
+	return s.Add("pattern", cfg.Pattern.Name()).
+		Add("weights", patternNames(cfg.WeightPatterns)).
+		Add("pid", cfg.PatternID).
+		Add("batch", cfg.Batch).
+		Add("maxcycles", cfg.MaxCycles)
+}
+
+// ThroughputJob wraps one RunThroughput call for the orchestrator.
+func ThroughputJob(cfg ThroughputConfig) exp.Job {
+	return exp.Job{Spec: ThroughputSpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunThroughput(c)
+	}}
+}
+
+// BlendSpec canonically identifies one Figure 10 blend point.
+func BlendSpec(cfg BlendConfig) *exp.Spec {
+	s := exp.NewSpec("blend")
+	addMachine(s, cfg.Machine)
+	return s.Add("f", cfg.ForwardFraction).
+		Add("weights", cfg.Weights).
+		Add("batch", cfg.Batch).
+		Add("maxcycles", cfg.MaxCycles)
+}
+
+// BlendJob wraps one RunBlend call for the orchestrator.
+func BlendJob(cfg BlendConfig) exp.Job {
+	return exp.Job{Spec: BlendSpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunBlend(c)
+	}}
+}
+
+// LatencySpec canonically identifies one Figure 11 latency sweep.
+func LatencySpec(cfg LatencyConfig) *exp.Spec {
+	s := exp.NewSpec("latency")
+	addMachine(s, cfg.Machine)
+	return s.Add("sendover", cfg.SendOverhead).
+		Add("recvover", cfg.RecvOverhead).
+		Add("pingpongs", cfg.PingPongs).
+		Add("pairs", cfg.PairsPerHop).
+		Add("maxhops", cfg.MaxHops)
+}
+
+// LatencyJob wraps one RunLatency sweep for the orchestrator.
+func LatencyJob(cfg LatencyConfig) exp.Job {
+	return exp.Job{Spec: LatencySpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunLatency(c)
+	}}
+}
+
+// EnergySpec canonically identifies one Figure 13 energy point.
+func EnergySpec(cfg EnergyConfig) *exp.Spec {
+	s := exp.NewSpec("energy")
+	addMachine(s, cfg.Machine)
+	return s.Add("model", fmt.Sprintf("%g/%g/%g/%g",
+		cfg.Model.Fixed, cfg.Model.PerBitFlip, cfg.Model.PerActivation, cfg.Model.PerActSetBit)).
+		Add("ratenum", cfg.RateNum).
+		Add("rateden", cfg.RateDen).
+		Add("payload", cfg.Payload).
+		Add("flits", cfg.Flits)
+}
+
+// EnergyJob wraps one RunEnergy two-route subtraction for the orchestrator.
+func EnergyJob(cfg EnergyConfig) exp.Job {
+	return exp.Job{Spec: EnergySpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunEnergy(c)
+	}}
+}
+
+// collect unwraps successful results into their typed values, in job order,
+// and joins the failed points into one error (nil when all succeeded).
+func collect[T any](results []exp.Result) ([]T, error) {
+	out := make([]T, 0, len(results))
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Spec, r.Err))
+			continue
+		}
+		out = append(out, r.Value.(T))
+	}
+	return out, errors.Join(errs...)
+}
+
+// ThroughputSweepOpts runs a batch-size sweep through the orchestrator.
+func ThroughputSweepOpts(cfg ThroughputConfig, batches []int, opts exp.Options) ([]ThroughputResult, error) {
+	jobs := make([]exp.Job, len(batches))
+	for i, b := range batches {
+		c := cfg
+		c.Batch = b
+		jobs[i] = ThroughputJob(c)
+	}
+	return collect[ThroughputResult](exp.Run(jobs, opts))
+}
+
+// BlendSweepOpts runs a blend-fraction sweep through the orchestrator.
+func BlendSweepOpts(cfg BlendConfig, fractions []float64, opts exp.Options) ([]BlendResult, error) {
+	jobs := make([]exp.Job, len(fractions))
+	for i, f := range fractions {
+		c := cfg
+		c.ForwardFraction = f
+		jobs[i] = BlendJob(c)
+	}
+	return collect[BlendResult](exp.Run(jobs, opts))
+}
+
+// EnergySweepOpts runs an injection-rate sweep through the orchestrator.
+func EnergySweepOpts(mcfg machine.Config, model power.Model, payload PayloadKind, rates [][2]int, flits int, opts exp.Options) ([]EnergyPoint, error) {
+	jobs := make([]exp.Job, len(rates))
+	for i, r := range rates {
+		jobs[i] = EnergyJob(EnergyConfig{
+			Machine: mcfg, Model: model,
+			RateNum: r[0], RateDen: r[1],
+			Payload: payload, Flits: flits,
+		})
+	}
+	return collect[EnergyPoint](exp.Run(jobs, opts))
+}

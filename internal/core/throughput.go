@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"anton2/internal/exp"
+
 	"anton2/internal/machine"
 	"anton2/internal/packet"
 	"anton2/internal/route"
@@ -127,17 +129,8 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	}, nil
 }
 
-// ThroughputSweep runs a batch-size sweep (one Figure 9 curve).
+// ThroughputSweep runs a batch-size sweep (one Figure 9 curve) through the
+// orchestrator, serially; ThroughputSweepOpts exposes the worker pool.
 func ThroughputSweep(cfg ThroughputConfig, batches []int) ([]ThroughputResult, error) {
-	out := make([]ThroughputResult, 0, len(batches))
-	for _, b := range batches {
-		c := cfg
-		c.Batch = b
-		r, err := RunThroughput(c)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return ThroughputSweepOpts(cfg, batches, exp.Serial())
 }

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ArtifactFile is the on-disk JSON schema of one sweep: <dir>/<name>.json.
+type ArtifactFile struct {
+	Name string `json:"name"`
+	// WrittenAt is wall-clock metadata (RFC 3339); excluded, like all
+	// wall-time fields, from the canonical form used for determinism
+	// comparisons.
+	WrittenAt string   `json:"written_at,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// WriteArtifacts writes the sweep's results as pretty-printed JSON under
+// dir, creating it if needed, and returns the file path.
+func WriteArtifacts(dir, name string, results []Result) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("exp: artifact dir: %w", err)
+	}
+	b, err := json.MarshalIndent(ArtifactFile{
+		Name:      name,
+		WrittenAt: time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("exp: marshal artifacts: %w", err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("exp: write artifacts: %w", err)
+	}
+	return path, nil
+}
+
+// MarshalCanonical renders results as JSON with every field that may vary
+// between otherwise-identical runs zeroed: wall time, attempt counts, and
+// cache-hit flags (a point may be computed or served from cache depending on
+// worker timing). Serial and parallel executions of the same jobs must
+// produce byte-identical canonical JSON.
+func MarshalCanonical(results []Result) ([]byte, error) {
+	canon := make([]Result, len(results))
+	copy(canon, results)
+	for i := range canon {
+		canon[i].WallMS = 0
+		canon[i].Attempts = 0
+		canon[i].Cached = false
+	}
+	return json.MarshalIndent(ArtifactFile{Name: "canonical", Results: canon}, "", "  ")
+}

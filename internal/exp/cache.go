@@ -1,0 +1,45 @@
+package exp
+
+import "sync"
+
+// Cache memoizes experiment results (or any derived value) by canonical
+// string key with single-flight semantics: concurrent callers of the same
+// key block on one computation instead of duplicating it. Cached values are
+// shared by pointer and must be treated as immutable by callers.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]*cacheEntry)} }
+
+// Do returns the cached value for key, computing it with fn on the first
+// call. The second return reports whether the value was already present (or
+// being computed by another goroutine) when Do was called. Errors are cached
+// too: a failed computation is not retried on later lookups, matching the
+// determinism contract (the same spec always yields the same outcome).
+func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	e, hit := c.m[key]
+	if !hit {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, hit, e.err
+}
+
+// Len reports the number of cached entries (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

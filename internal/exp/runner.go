@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"anton2/internal/sim"
+)
+
+// Job is one independent experiment: a spec identifying it and a runner
+// executing it. Run receives the spec-derived seed; it must thread that seed
+// into every random stream it creates so results depend only on the spec,
+// never on which worker runs the job or when.
+type Job struct {
+	Spec *Spec
+	Run  func(seed uint64) (any, error)
+}
+
+// Cycler is implemented by result values that know their simulated cycle
+// count; Run copies it into Result.Cycles for the artifacts.
+type Cycler interface{ SimCycles() uint64 }
+
+// Options configures a sweep execution.
+type Options struct {
+	// Name labels progress lines and artifacts (e.g. "fig9").
+	Name string
+	// Parallelism bounds the worker pool; <= 0 means runtime.GOMAXPROCS.
+	Parallelism int
+	// Retries is the number of additional attempts after a failed run
+	// (error or panic). Deterministic failures fail every attempt; the
+	// bound keeps them from stalling the sweep.
+	Retries int
+	// Cache, when non-nil, memoizes results by spec canonical string so
+	// repeated sweeps (or duplicate points within one) skip the work.
+	Cache *Cache
+	// Progress, when non-nil, receives one line per completed job
+	// (conventionally os.Stderr).
+	Progress io.Writer
+}
+
+// Serial returns options that run jobs one at a time in order.
+func Serial() Options { return Options{Parallelism: 1} }
+
+// Parallel returns options with the given worker-pool size (0 = GOMAXPROCS).
+func Parallel(workers int) Options { return Options{Parallelism: workers} }
+
+// Result is the structured outcome of one job, in the job's input position
+// regardless of completion order.
+type Result struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind"`
+	Spec  string `json:"spec"`
+	// Hash is the spec hash (hex); Seed the seed derived from it.
+	Hash string `json:"hash"`
+	Seed uint64 `json:"seed"`
+	// Value is the job's returned measurement (nil on failure).
+	Value any `json:"value,omitempty"`
+	// Err preserves the job's error; Error is its string form for JSON.
+	Err      error  `json:"-"`
+	Error    string `json:"error,omitempty"`
+	Deadlock bool   `json:"deadlock,omitempty"`
+	// Cycles is the simulated cycle count when the value reports one.
+	Cycles   uint64  `json:"cycles,omitempty"`
+	Cached   bool    `json:"cached,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// Run executes the jobs over a worker pool and returns one Result per job in
+// input order. A job that fails (including by panic or simulated deadlock)
+// becomes a failed point; the rest of the sweep still completes.
+func Run(jobs []Job, opts Options) []Result {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+
+	var mu sync.Mutex // guards progress output + completion count
+	done := 0
+	report := func(r *Result) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		status := "ok"
+		switch {
+		case r.Deadlock:
+			status = "DEADLOCK"
+		case r.Err != nil:
+			status = "FAILED"
+		case r.Cached:
+			status = "cached"
+		}
+		name := opts.Name
+		if name == "" {
+			name = "exp"
+		}
+		fmt.Fprintf(opts.Progress, "%s: [%*d/%d] %-8s %s (%.0f ms)\n",
+			name, digits(len(jobs)), done, len(jobs), status, truncate(r.Spec, 96), r.WallMS)
+		if r.Err != nil {
+			fmt.Fprintf(opts.Progress, "%s:   error: %v\n", name, r.Err)
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(i, jobs[i], opts)
+				report(&results[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with retry, panic isolation, and caching.
+func runOne(i int, j Job, opts Options) Result {
+	r := Result{
+		Index: i,
+		Kind:  j.Spec.Kind(),
+		Spec:  j.Spec.Canonical(),
+		Hash:  fmt.Sprintf("%016x", j.Spec.Hash()),
+		Seed:  j.Spec.Seed(),
+	}
+	start := time.Now()
+	attempt := func() (val any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("exp: job %s panicked: %v", r.Kind, p)
+			}
+		}()
+		return j.Run(r.Seed)
+	}
+	attempts := 0
+	tryAll := func() (any, error) {
+		var val any
+		var err error
+		for a := 0; a <= opts.Retries; a++ {
+			attempts++
+			if val, err = attempt(); err == nil {
+				return val, nil
+			}
+		}
+		return nil, err
+	}
+	var val any
+	var err error
+	if opts.Cache != nil {
+		val, r.Cached, err = opts.Cache.Do(r.Spec, tryAll)
+	} else {
+		val, err = tryAll()
+	}
+	r.Attempts = attempts
+	r.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		r.Err = err
+		r.Error = err.Error()
+		var dl *sim.ErrDeadlock
+		r.Deadlock = errors.As(err, &dl)
+		return r
+	}
+	r.Value = val
+	if c, ok := val.(Cycler); ok {
+		r.Cycles = c.SimCycles()
+	}
+	return r
+}
+
+// FirstErr returns the first failed result's error annotated with its spec,
+// or nil when every point succeeded.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Spec, r.Err)
+		}
+	}
+	return nil
+}
+
+// Failed counts failed points.
+func Failed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,73 @@
+// Package exp orchestrates sweeps of independent experiments: it fans jobs
+// out over a bounded worker pool, derives each job's random seed from a
+// canonical hash of its spec (never from scheduling order, so parallel and
+// serial runs produce bit-identical results), memoizes results keyed by the
+// same hash, isolates per-job failures (deadlocks, panics) into reported
+// failed points, and writes structured JSON artifacts per sweep.
+//
+// The package is domain-agnostic: internal/core wraps its figure runners
+// (throughput, blend, latency, energy) into exp.Jobs, and cmd/anton2bench
+// drives whole figures through one pool.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Spec canonically identifies one experiment point: a kind plus an ordered
+// list of key=value parameters. Two specs with the same canonical string are
+// the same experiment — they hash to the same seed and share a cache slot —
+// so every parameter that influences the result must be added.
+type Spec struct {
+	kind  string
+	pairs []string
+}
+
+// NewSpec starts a spec of the given kind (e.g. "throughput", "blend").
+func NewSpec(kind string) *Spec { return &Spec{kind: kind} }
+
+// Add appends one parameter. Values are rendered canonically: floats via
+// strconv 'g' formatting, everything else via fmt.Sprint (types with String
+// methods render through them).
+func (s *Spec) Add(key string, val any) *Spec {
+	var v string
+	switch x := val.(type) {
+	case float64:
+		v = strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		v = strconv.FormatFloat(float64(x), 'g', -1, 32)
+	default:
+		v = fmt.Sprint(val)
+	}
+	s.pairs = append(s.pairs, key+"="+v)
+	return s
+}
+
+// Kind returns the spec's experiment kind.
+func (s *Spec) Kind() string { return s.kind }
+
+// Canonical returns the full canonical encoding, e.g.
+// "blend{shape=4x4x2 weights=Both f=0.5 batch=96}".
+func (s *Spec) Canonical() string {
+	return s.kind + "{" + strings.Join(s.pairs, " ") + "}"
+}
+
+// Hash returns the FNV-64a hash of the canonical encoding.
+func (s *Spec) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Canonical()))
+	return h.Sum64()
+}
+
+// Seed derives the job's deterministic random seed from the spec hash. The
+// hash is diffused through a SplitMix64 step so that specs differing in a
+// single parameter still yield well-separated seeds.
+func (s *Spec) Seed() uint64 {
+	z := s.Hash() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
