@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	anton2bench [-quick] [-parallel N] [-json dir]
+//	anton2bench [-quick] [-parallel N] [-json dir] [-check]
 //	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
 //
 // Without -quick, the saturation experiments run on an 8x4x2 machine with
@@ -14,12 +14,20 @@
 // from the experiment specs, so any pool size produces identical results.
 // With -json, each figure also writes a structured artifact
 // (<dir>/<figure>.json) with per-point values, seeds, and wall times.
+// With -check, every simulation runs under the internal/check invariant
+// suite (flit conservation, credit accounting, VC monotonicity, dimension
+// order, multicast delivery); violations fail the experiment. Checking does
+// not perturb results or seeds.
+//
+// Exit status: 0 on success, 1 if any experiment fails, 2 for an unknown
+// experiment name.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"anton2/internal/area"
@@ -37,9 +45,10 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
-	parallel = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
-	jsonDir  = flag.String("json", "", "write per-figure JSON artifacts under this directory")
+	quick     = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+	parallel  = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	jsonDir   = flag.String("json", "", "write per-figure JSON artifacts under this directory")
+	checkFlag = flag.Bool("check", false, "run simulations under the runtime invariant-checking suite")
 )
 
 // resultCache memoizes simulation points across figures within one
@@ -61,7 +70,17 @@ func validNames() []string {
 	for _, e := range experiments {
 		names = append(names, e.name)
 	}
-	return append(names, "all")
+	names = append(names, "all")
+	sort.Strings(names)
+	return names
+}
+
+// benchConfig is machine.DefaultConfig plus the -check wiring; every
+// simulated experiment builds its machines through it.
+func benchConfig(shape topo.TorusShape) machine.Config {
+	mc := machine.DefaultConfig(shape)
+	mc.Check = *checkFlag
+	return mc
 }
 
 func main() {
@@ -96,7 +115,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q (valid: %s)\n",
 		what, strings.Join(validNames(), ", "))
-	os.Exit(1)
+	os.Exit(2)
 }
 
 // sweep runs one figure's jobs through the orchestrator, writes artifacts
@@ -242,6 +261,7 @@ func table2() error {
 func fig12() error {
 	header("Figure 12: minimum-latency decomposition", "99 ns nearest-neighbor one-way; network only ~40%")
 	cfg := core.DefaultLatencyConfig(topo.Shape3(4, 4, 4))
+	cfg.Machine.Check = *checkFlag
 	comps := core.DecomposeMinLatency(cfg)
 	var total, network float64
 	for _, c := range comps {
@@ -270,7 +290,7 @@ func fig12() error {
 func fig13() error {
 	header("Figure 13: router energy vs injection rate",
 		"E = 42.7 + 0.837h + (34.4 + 0.250n)(a/r) pJ; energy falls as rate rises past 0.5")
-	mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
+	mc := benchConfig(topo.Shape3(1, 1, 1))
 	flits := 1200
 	if *quick {
 		flits = 400
@@ -326,7 +346,9 @@ func fig11() error {
 	if *quick {
 		shape = topo.Shape3(4, 4, 2)
 	}
-	rs, sweepErr := sweep("fig11", []exp.Job{core.LatencyJob(core.DefaultLatencyConfig(shape))})
+	lcfg := core.DefaultLatencyConfig(shape)
+	lcfg.Machine.Check = *checkFlag
+	rs, sweepErr := sweep("fig11", []exp.Job{core.LatencyJob(lcfg)})
 	if sweepErr != nil {
 		return sweepErr
 	}
@@ -356,7 +378,7 @@ func fig9() error {
 	for _, pat := range patterns {
 		for _, arb := range arbs {
 			for _, b := range batches {
-				mc := machine.DefaultConfig(satShape())
+				mc := benchConfig(satShape())
 				if arb.iw {
 					mc.Arbiter = 1
 				}
@@ -406,7 +428,7 @@ func fig10() error {
 	for _, mode := range modes {
 		for _, f := range fractions {
 			jobs = append(jobs, core.BlendJob(core.BlendConfig{
-				Machine:         machine.DefaultConfig(satShape()),
+				Machine:         benchConfig(satShape()),
 				Weights:         mode,
 				ForwardFraction: f,
 				Batch:           batch,

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
-//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir]
+//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir] [-check]
+//
+// With -check, the run executes under the internal/check invariant suite
+// (flit conservation, credit accounting, VC monotonicity, dimension order);
+// any violation fails the run. Checking never perturbs results or seeds.
 //
 // The run goes through the internal/exp orchestrator: the simulation seed is
 // derived from a canonical hash of the full configuration (the -seed value
@@ -35,6 +39,7 @@ func main() {
 	schemeFlag := flag.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
 	seed := flag.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
 	jsonDir := flag.String("json", "", "write a JSON result artifact under this directory")
+	checkFlag := flag.Bool("check", false, "run under the runtime invariant-checking suite")
 	flag.Parse()
 
 	shape, err := parseShape(*shapeFlag)
@@ -44,6 +49,7 @@ func main() {
 
 	mc := machine.DefaultConfig(shape)
 	mc.Seed = *seed
+	mc.Check = *checkFlag
 	switch *schemeFlag {
 	case "anton":
 		mc.Scheme = route.AntonScheme{}

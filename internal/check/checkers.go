@@ -1,0 +1,298 @@
+package check
+
+import (
+	"sort"
+
+	"anton2/internal/fabric"
+	"anton2/internal/multicast"
+	"anton2/internal/packet"
+	"anton2/internal/topo"
+)
+
+// conservation enforces flit conservation: at every scan,
+// injected + cloned == delivered + freed + queued + in-flight, and at a
+// quiesced finish the live count equals the circulating-stream count.
+type conservation struct {
+	NopChecker
+	env Env
+
+	injected  uint64
+	cloned    uint64
+	delivered uint64
+	freed     uint64
+}
+
+func newConservation(env Env) *conservation { return &conservation{env: env} }
+
+func (c *conservation) Name() string { return "conservation" }
+
+func (c *conservation) Event(s *Suite, ev Event, p *packet.Packet, ch *fabric.Channel, vc uint8, now uint64) {
+	switch ev {
+	case EvInject:
+		c.injected++
+	case EvClone:
+		c.cloned++
+	case EvDeliver:
+		c.delivered++
+	case EvFree:
+		c.freed++
+	}
+}
+
+func (c *conservation) live() int64 {
+	return int64(c.injected) + int64(c.cloned) - int64(c.delivered) - int64(c.freed)
+}
+
+func (c *conservation) Scan(s *Suite, now uint64) {
+	census := int64(c.env.Queued())
+	for _, ch := range c.env.Channels {
+		census += int64(ch.InFlight())
+	}
+	if live := c.live(); live != census {
+		s.Violate(c.Name(), now,
+			"ledger has %d live packets (injected %d + cloned %d - delivered %d - freed %d) but census found %d (queued + channel in-flight)",
+			live, c.injected, c.cloned, c.delivered, c.freed, census)
+	}
+}
+
+func (c *conservation) Finish(s *Suite, now uint64, quiesced bool) {
+	if !quiesced {
+		return
+	}
+	if live := c.live(); live != int64(s.Circulating()) {
+		s.Violate(c.Name(), now,
+			"network quiesced with %d packets unaccounted for (injected %d + cloned %d, delivered %d, freed %d, circulating %d)",
+			live-int64(s.Circulating()), c.injected, c.cloned, c.delivered, c.freed, s.Circulating())
+	}
+}
+
+// credits enforces credit-count sanity: sender-side credit counters stay in
+// [0, BufFlits] at every scan, never go negative across a send, and return
+// exactly to BufFlits once the network drains (no credit leaks or
+// double-returns).
+type credits struct {
+	NopChecker
+	env Env
+}
+
+func newCredits(env Env) *credits { return &credits{env: env} }
+
+func (c *credits) Name() string { return "credits" }
+
+func (c *credits) Event(s *Suite, ev Event, p *packet.Packet, ch *fabric.Channel, vc uint8, now uint64) {
+	if ev != EvSend {
+		return
+	}
+	if int(vc) < ch.NumVCs() && ch.Credits(vc) < 0 {
+		s.Violate(c.Name(), now, "channel %s vc %d credit went negative (%d) on send of packet %d",
+			ch.Name, vc, ch.Credits(vc), p.ID)
+	}
+}
+
+func (c *credits) Scan(s *Suite, now uint64) {
+	for _, ch := range c.env.Channels {
+		for vc := 0; vc < ch.NumVCs(); vc++ {
+			cr := ch.Credits(uint8(vc))
+			if cr < 0 {
+				s.Violate(c.Name(), now, "channel %s vc %d has negative credit %d", ch.Name, vc, cr)
+			} else if cr > ch.BufFlits() {
+				s.Violate(c.Name(), now, "channel %s vc %d has credit %d above buffer capacity %d",
+					ch.Name, vc, cr, ch.BufFlits())
+			}
+		}
+	}
+}
+
+func (c *credits) Finish(s *Suite, now uint64, quiesced bool) {
+	if !quiesced {
+		return
+	}
+	for _, ch := range c.env.Channels {
+		for vc := 0; vc < ch.NumVCs(); vc++ {
+			if cr := ch.Credits(uint8(vc)); cr != ch.BufFlits() {
+				s.Violate(c.Name(), now,
+					"channel %s vc %d drained with credit %d, want full buffer %d (credit leak)",
+					ch.Name, vc, cr, ch.BufFlits())
+			}
+		}
+	}
+}
+
+// vcKnown is the last observed promotion state of one in-flight packet.
+type vcKnown struct {
+	mvc, tvc uint8
+}
+
+// vcmono enforces the Section 2.5 proof obligation: a packet's M-group and
+// T-group VC counters never decrease along its route, stay below the
+// scheme's per-class VC counts, and every physical VC index fits the channel
+// it is sent on. Source-routed packets bypass route state and are skipped.
+type vcmono struct {
+	NopChecker
+	env  Env
+	pkts map[uint64]vcKnown
+}
+
+func newVCMono(env Env) *vcmono { return &vcmono{env: env, pkts: map[uint64]vcKnown{}} }
+
+func (c *vcmono) Name() string { return "vc-monotone" }
+
+func (c *vcmono) Event(s *Suite, ev Event, p *packet.Packet, ch *fabric.Channel, vc uint8, now uint64) {
+	switch ev {
+	case EvDeliver, EvFree:
+		delete(c.pkts, p.ID)
+		return
+	}
+	if p.SourceRoute != nil {
+		return
+	}
+	switch ev {
+	case EvInject, EvClone:
+		c.pkts[p.ID] = vcKnown{mvc: p.Route.MVC, tvc: p.Route.TVC}
+	case EvSend:
+		scheme := c.env.Route.Scheme
+		if int(p.Route.MVC) >= scheme.MeshVCs() {
+			s.Violate(c.Name(), now, "packet %d M-VC %d exceeds scheme bound %d (scheme %s)",
+				p.ID, p.Route.MVC, scheme.MeshVCs()-1, scheme.Name())
+		}
+		if int(p.Route.TVC) >= scheme.TorusVCs() {
+			s.Violate(c.Name(), now, "packet %d T-VC %d exceeds scheme bound %d (scheme %s)",
+				p.ID, p.Route.TVC, scheme.TorusVCs()-1, scheme.Name())
+		}
+		if int(vc) >= ch.NumVCs() {
+			s.Violate(c.Name(), now, "packet %d sent on %s vc %d, channel has %d VCs",
+				p.ID, ch.Name, vc, ch.NumVCs())
+		}
+		if prev, ok := c.pkts[p.ID]; ok {
+			if p.Route.MVC < prev.mvc {
+				s.Violate(c.Name(), now, "packet %d M-VC demoted %d -> %d on %s",
+					p.ID, prev.mvc, p.Route.MVC, ch.Name)
+			}
+			if p.Route.TVC < prev.tvc {
+				s.Violate(c.Name(), now, "packet %d T-VC demoted %d -> %d on %s",
+					p.ID, prev.tvc, p.Route.TVC, ch.Name)
+			}
+		}
+		c.pkts[p.ID] = vcKnown{mvc: p.Route.MVC, tvc: p.Route.TVC}
+	}
+}
+
+// dimOrder enforces dimension-order progress: a packet's dimension-order
+// position never moves backward (no revisiting a completed dimension), and
+// every inter-node hop is taken on a channel of the dimension and direction
+// the packet's route state claims to be traveling.
+type dimOrder struct {
+	NopChecker
+	env  Env
+	pkts map[uint64]uint8 // packet id -> last observed DimIdx
+}
+
+func newDimOrder(env Env) *dimOrder { return &dimOrder{env: env, pkts: map[uint64]uint8{}} }
+
+func (c *dimOrder) Name() string { return "dim-order" }
+
+func (c *dimOrder) Event(s *Suite, ev Event, p *packet.Packet, ch *fabric.Channel, vc uint8, now uint64) {
+	switch ev {
+	case EvDeliver, EvFree:
+		delete(c.pkts, p.ID)
+		return
+	}
+	if p.SourceRoute != nil {
+		return
+	}
+	switch ev {
+	case EvInject, EvClone:
+		c.pkts[p.ID] = p.Route.DimIdx
+	case EvSend:
+		if prev, ok := c.pkts[p.ID]; ok && p.Route.DimIdx < prev {
+			s.Violate(c.Name(), now, "packet %d dimension-order position moved backward %d -> %d (revisits a completed dimension)",
+				p.ID, prev, p.Route.DimIdx)
+		}
+		if p.Route.DimIdx > topo.NumDims {
+			s.Violate(c.Name(), now, "packet %d dimension-order position %d out of range", p.ID, p.Route.DimIdx)
+		}
+		tm := c.env.Route.Machine
+		if ch.ID >= 0 && tm.IsTorusChan(ch.ID) {
+			if int(p.Route.DimIdx) >= topo.NumDims {
+				s.Violate(c.Name(), now, "packet %d took torus hop on %s after completing all dimensions", p.ID, ch.Name)
+			} else {
+				if want := p.Route.DimOrder[p.Route.DimIdx]; p.Route.Dir.Dim() != want {
+					s.Violate(c.Name(), now, "packet %d traveling %v but dimension order says dim %v is next",
+						p.ID, p.Route.Dir, want)
+				}
+				if _, ad := tm.TorusChanOf(ch.ID); ad.Dir != p.Route.Dir {
+					s.Violate(c.Name(), now, "packet %d claims direction %v but was sent on torus channel %s",
+						p.ID, p.Route.Dir, ch.Name)
+				}
+			}
+		}
+		c.pkts[p.ID] = p.Route.DimIdx
+	}
+}
+
+// mkey identifies one (group, destination endpoint) multicast obligation.
+type mkey struct {
+	group, node, ep int
+}
+
+// mcastOnce enforces exactly-once multicast delivery: every injection of a
+// group must produce exactly one delivery per table destination — duplicates
+// are flagged immediately, missing deliveries at a quiesced finish.
+type mcastOnce struct {
+	NopChecker
+	expected map[mkey]int
+	got      map[mkey]int
+}
+
+func newMcastOnce(env Env) *mcastOnce {
+	return &mcastOnce{expected: map[mkey]int{}, got: map[mkey]int{}}
+}
+
+func (c *mcastOnce) Name() string { return "multicast-once" }
+
+// MulticastInject implements MulticastObserver.
+func (c *mcastOnce) MulticastInject(s *Suite, group int, g *multicast.Compiled, now uint64) {
+	for node, e := range g.Entries {
+		for _, ep := range e.Deliver {
+			c.expected[mkey{group: group, node: node, ep: ep}]++
+		}
+	}
+}
+
+func (c *mcastOnce) Event(s *Suite, ev Event, p *packet.Packet, ch *fabric.Channel, vc uint8, now uint64) {
+	if ev != EvDeliver || p.MGroup < 0 {
+		return
+	}
+	k := mkey{group: p.MGroup, node: p.Dst.Node, ep: p.Dst.Ep}
+	c.got[k]++
+	if c.got[k] > c.expected[k] {
+		s.Violate(c.Name(), now, "multicast group %d delivered %d copies to node %d ep %d, expected %d",
+			k.group, c.got[k], k.node, k.ep, c.expected[k])
+	}
+}
+
+func (c *mcastOnce) Finish(s *Suite, now uint64, quiesced bool) {
+	if !quiesced {
+		return
+	}
+	var missing []mkey
+	for k, want := range c.expected {
+		if c.got[k] < want {
+			missing = append(missing, k)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		a, b := missing[i], missing[j]
+		if a.group != b.group {
+			return a.group < b.group
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.ep < b.ep
+	})
+	for _, k := range missing {
+		s.Violate(c.Name(), now, "multicast group %d delivered %d copies to node %d ep %d, expected %d (missing deliveries)",
+			k.group, c.got[k], k.node, k.ep, c.expected[k])
+	}
+}

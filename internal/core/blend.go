@@ -150,6 +150,9 @@ func RunBlend(cfg BlendConfig) (BlendResult, error) {
 	if err != nil {
 		return BlendResult{}, fmt.Errorf("core: blend run (f=%.2f, %v): %w", cfg.ForwardFraction, cfg.Weights, err)
 	}
+	if err := m.FinishChecks(); err != nil {
+		return BlendResult{}, fmt.Errorf("core: blend run (f=%.2f, %v): %w", cfg.ForwardFraction, cfg.Weights, err)
+	}
 	rate := float64(cfg.Batch) / float64(end)
 	return BlendResult{
 		ForwardFraction: cfg.ForwardFraction,

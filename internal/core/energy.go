@@ -177,6 +177,9 @@ func measureStream(cfg EnergyConfig, long bool) (power.Counters, EnergyPoint, ui
 	if err != nil {
 		return power.Counters{}, EnergyPoint{}, 0, fmt.Errorf("core: energy stream (long=%v): %w", long, err)
 	}
+	if err := m.FinishChecks(); err != nil {
+		return power.Counters{}, EnergyPoint{}, 0, fmt.Errorf("core: energy stream (long=%v): %w", long, err)
+	}
 
 	// Router energy: sum counters over channels driven by routers.
 	var c power.Counters

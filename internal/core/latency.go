@@ -130,6 +130,9 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 		result.SlopeNS, result.InterceptNS, result.R2 = stats.LinearFit(xs, ys)
 	}
 	sort.Slice(result.Points, func(i, j int) bool { return result.Points[i].Hops < result.Points[j].Hops })
+	if err := m.FinishChecks(); err != nil {
+		return result, fmt.Errorf("core: latency sweep: %w", err)
+	}
 	return result, nil
 }
 
@@ -245,6 +248,9 @@ func MeasureDecomposition(cfg LatencyConfig) ([]LatencyComponent, error) {
 	}
 	m.Endpoint(src).Inject(p)
 	if err := m.Engine.RunUntil(func() bool { return done }, 1_000_000, 100_000); err != nil {
+		return nil, fmt.Errorf("core: decomposition trace: %w", err)
+	}
+	if err := m.FinishChecks(); err != nil {
 		return nil, fmt.Errorf("core: decomposition trace: %w", err)
 	}
 

@@ -116,6 +116,9 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	if err != nil {
 		return ThroughputResult{}, fmt.Errorf("core: throughput run (%s, batch %d): %w", cfg.Pattern.Name(), cfg.Batch, err)
 	}
+	if err := m.FinishChecks(); err != nil {
+		return ThroughputResult{}, fmt.Errorf("core: throughput run (%s, batch %d): %w", cfg.Pattern.Name(), cfg.Batch, err)
+	}
 
 	rate := float64(cfg.Batch) / float64(end) // packets/cycle/core
 	_, meanU, maxU := m.TorusUtilization(nil, end)

@@ -52,7 +52,8 @@ type Channel struct {
 	pkts    *sim.Pipe[*packet.Packet]
 	credits *sim.Pipe[creditMsg]
 
-	credit []int // sender-side available credits per VC, in flits
+	credit   []int // sender-side available credits per VC, in flits
+	bufFlits int   // per-VC buffer capacity, in flits (credit upper bound)
 
 	busyUntilMilli uint64 // serializer occupancy, in millicycles
 	lastIdleFrom   uint64 // cycle from which the channel has been idle
@@ -98,14 +99,15 @@ func New(c Config) *Channel {
 		c.CreditLatency = 1
 	}
 	ch := &Channel{
-		ID:      c.ID,
-		Name:    c.Name,
-		Group:   c.Group,
-		latency: c.Latency,
-		rate:    c.RateMilli,
-		pkts:    sim.NewPipe[*packet.Packet](c.Latency),
-		credits: sim.NewPipe[creditMsg](c.CreditLatency),
-		credit:  make([]int, c.NumVCs),
+		ID:       c.ID,
+		Name:     c.Name,
+		Group:    c.Group,
+		latency:  c.Latency,
+		rate:     c.RateMilli,
+		pkts:     sim.NewPipe[*packet.Packet](c.Latency),
+		credits:  sim.NewPipe[creditMsg](c.CreditLatency),
+		credit:   make([]int, c.NumVCs),
+		bufFlits: c.BufFlits,
 	}
 	for i := range ch.credit {
 		ch.credit[i] = c.BufFlits
@@ -206,6 +208,23 @@ func (ch *Channel) ReturnCredit(now uint64, vc uint8, flits uint8) {
 
 // Quiet reports whether the channel holds no in-flight packets or credits.
 func (ch *Channel) Quiet() bool { return ch.pkts.Empty() && ch.credits.Empty() }
+
+// BufFlits returns the downstream per-VC buffer capacity in flits. It is the
+// upper bound a sender-side credit counter may ever reach.
+func (ch *Channel) BufFlits() int { return ch.bufFlits }
+
+// InFlight returns the number of packets currently traversing the channel
+// (sent but not yet received). Invariant checkers use it for the flit
+// conservation census.
+func (ch *Channel) InFlight() int { return ch.pkts.Len() }
+
+// CorruptCreditsForTest deliberately skews the sender-side credit counter for
+// vc by delta flits. It exists solely so negative tests can prove the
+// invariant-checking layer catches credit-accounting bugs; production code
+// must never call it.
+func (ch *Channel) CorruptCreditsForTest(vc uint8, delta int) {
+	ch.credit[vc] += delta
+}
 
 // FlitsSent returns the total flits forwarded over the channel's lifetime.
 func (ch *Channel) FlitsSent() uint64 { return ch.Sent }

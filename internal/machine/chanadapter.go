@@ -135,6 +135,9 @@ func (a *ChannelAdapter) Tick(now uint64) {
 		p := q.pop()
 		a.queued--
 		a.torusOut.Send(now, p, outVC)
+		if a.m.checks != nil {
+			a.m.checks.OnSend(p, a.torusOut, outVC, now)
+		}
 		p.Tracepoint("torus out "+a.id.String(), now)
 		a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
 		a.m.Engine.Progress()
@@ -183,6 +186,9 @@ func (a *ChannelAdapter) Tick(now uint64) {
 			b := q.branches[0]
 			q.branches = q.branches[1:]
 			a.toRouter.Send(now, b, outVC)
+			if a.m.checks != nil {
+				a.m.checks.OnSend(b, a.toRouter, outVC, now)
+			}
 			if len(q.branches) == 0 {
 				orig := q.pop()
 				a.queued--
@@ -193,6 +199,9 @@ func (a *ChannelAdapter) Tick(now uint64) {
 			p := q.pop()
 			a.queued--
 			a.toRouter.Send(now, p, outVC)
+			if a.m.checks != nil {
+				a.m.checks.OnSend(p, a.toRouter, outVC, now)
+			}
 			a.torusIn.ReturnCredit(now, uint8(g), p.Size)
 		}
 		a.m.Engine.Progress()

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"anton2/internal/arbiter"
+	"anton2/internal/check"
 	"anton2/internal/loadcalc"
 	"anton2/internal/multicast"
 	"anton2/internal/route"
@@ -78,6 +79,16 @@ type Config struct {
 	// Multicast holds the loaded multicast routing tables by group id
 	// (Section 2.3); nil disables multicast.
 	Multicast map[int]*multicast.Compiled
+
+	// Check attaches the internal/check invariant suite: flit
+	// conservation, credit accounting, VC-promotion monotonicity,
+	// dimension-order progress, and exactly-once multicast delivery are
+	// verified as the simulation runs. Checking does not perturb the
+	// simulation (results are bit-identical with it on or off); it is
+	// excluded from experiment cache keys for the same reason.
+	Check bool
+	// CheckOptions tunes the attached suite (zero value = defaults).
+	CheckOptions check.Options
 
 	// Seed makes runs reproducible.
 	Seed uint64

@@ -63,6 +63,9 @@ func (e *EndpointAdapter) Inject(p *packet.Packet) {
 	}
 	e.swq = append(e.swq, p)
 	e.m.injected++
+	if e.m.checks != nil {
+		e.m.checks.OnInject(p, p.InjectedAt)
+	}
 }
 
 // Pending returns the number of packets queued for injection.
@@ -115,6 +118,9 @@ func (e *EndpointAdapter) Tick(now uint64) {
 		return
 	}
 	e.out.Send(now, p, vc)
+	if e.m.checks != nil {
+		e.m.checks.OnSend(p, e.out, vc, now)
+	}
 	p.Tracepoint("endpoint inject", now)
 	e.m.Engine.Progress()
 	e.swq[e.head] = nil

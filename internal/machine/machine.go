@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"anton2/internal/arbiter"
+	"anton2/internal/check"
 	"anton2/internal/fabric"
 	"anton2/internal/packet"
 	"anton2/internal/route"
@@ -27,6 +28,11 @@ type Machine struct {
 
 	pool   []*packet.Packet
 	nextID uint64
+
+	// checks is the attached invariant suite, or nil when Cfg.Check is
+	// false; every hook site guards on nil so disabled checking costs one
+	// predicted branch.
+	checks *check.Suite
 }
 
 // Node groups one ASIC's components.
@@ -118,6 +124,15 @@ func New(cfg Config) (*Machine, error) {
 			node.Endpoints[ep] = newEndpoint(m, n, ep)
 			m.Engine.Register(node.Endpoints[ep])
 		}
+	}
+
+	if cfg.Check {
+		m.checks = check.NewSuite(check.Env{
+			Route:    m.routeCfg,
+			Channels: m.chans,
+			Queued:   m.queuedPackets,
+		}, cfg.CheckOptions)
+		m.Engine.AfterStep = m.checks.Cycle
 	}
 	return m, nil
 }
@@ -225,6 +240,9 @@ func (m *Machine) clonePacket(p *packet.Packet) *packet.Packet {
 	*c = *p
 	c.ID = id
 	c.Payload = nil // branches share no payload modeling
+	if m.checks != nil {
+		m.checks.OnClone(c, m.Engine.Now())
+	}
 	return c
 }
 
@@ -244,6 +262,9 @@ func (m *Machine) InjectMulticast(src topo.NodeEp, group int, class route.Class,
 	chip := m.Topo.Chip
 	srcRouter := chip.Endpoints[src.Ep].Router
 	ep := m.Endpoint(src)
+	if m.checks != nil {
+		m.checks.OnMulticastInject(group, g, m.Engine.Now())
+	}
 	for _, d := range e.Forward {
 		p := m.alloc()
 		p.Src, p.Size, p.PatternID, p.MGroup = src, 1, pattern, group
@@ -263,6 +284,9 @@ func (m *Machine) InjectMulticast(src topo.NodeEp, group int, class route.Class,
 func (m *Machine) deliver(e *EndpointAdapter, p *packet.Packet, now uint64) {
 	m.delivered++
 	m.Engine.Progress()
+	if m.checks != nil {
+		m.checks.OnDeliver(p, now)
+	}
 	retain := false
 	if e.OnDeliver != nil {
 		retain = e.OnDeliver(p, now)
@@ -273,11 +297,83 @@ func (m *Machine) deliver(e *EndpointAdapter, p *packet.Packet, now uint64) {
 }
 
 // free returns a packet to the pool.
-func (m *Machine) free(p *packet.Packet) { m.pool = append(m.pool, p) }
+func (m *Machine) free(p *packet.Packet) {
+	if m.checks != nil {
+		m.checks.OnFree(p, m.Engine.Now())
+	}
+	m.pool = append(m.pool, p)
+}
 
 // Injected and Delivered report machine-wide packet counts.
 func (m *Machine) Injected() uint64  { return m.injected }
 func (m *Machine) Delivered() uint64 { return m.delivered }
+
+// Checks returns the attached invariant suite, or nil when Cfg.Check is
+// false.
+func (m *Machine) Checks() *check.Suite { return m.checks }
+
+// queuedPackets is the conservation census over component queues: router VC
+// queues, channel-adapter queues plus pending multicast branches, and
+// endpoint injection queues. In-flight channel contents are counted by the
+// checker itself.
+func (m *Machine) queuedPackets() int {
+	total := 0
+	for _, node := range m.nodes {
+		for _, r := range node.Routers {
+			total += r.queued
+		}
+		for _, a := range node.Adapters {
+			total += a.queued
+			for i := range a.ing {
+				total += len(a.ing[i].branches)
+			}
+		}
+		for _, e := range node.Endpoints {
+			total += e.Pending()
+		}
+	}
+	return total
+}
+
+// quiet reports whether the machine holds no packets in queues and no
+// packets or credits in flight on any channel.
+func (m *Machine) quiet() bool {
+	if m.queuedPackets() != 0 {
+		return false
+	}
+	for _, ch := range m.chans {
+		if !ch.Quiet() {
+			return false
+		}
+	}
+	return true
+}
+
+// drainBudget bounds the post-measurement drain in FinishChecks. Worst case
+// is a torus channel's full VC buffers serializing out at ~3.2 cycles/flit;
+// 1<<16 cycles covers that with wide margin on every supported shape.
+const drainBudget = 1 << 16
+
+// FinishChecks finalizes the attached invariant suite after a measurement:
+// it lets the network drain (bounded by drainBudget; skipped when
+// circulating streams can never drain), runs the end-of-run checks —
+// conservation of every injected packet, exact credit restoration,
+// exactly-once multicast delivery — and returns an error if any invariant
+// was violated during or after the run. It is a no-op without Cfg.Check.
+func (m *Machine) FinishChecks() error {
+	if m.checks == nil {
+		return nil
+	}
+	quiesced := false
+	if m.checks.Circulating() == 0 {
+		for i := 0; i < drainBudget && !m.quiet(); i++ {
+			m.Engine.Step()
+		}
+		quiesced = m.quiet()
+	}
+	m.checks.Finish(m.Engine.Now(), quiesced)
+	return m.checks.Err()
+}
 
 // RunUntilDelivered advances the simulation until the machine-wide delivered
 // count reaches want. It returns the cycle at completion, or an error on

@@ -146,6 +146,9 @@ func (r *Router) Tick(now uint64) {
 		p := q.pop()
 		r.queued--
 		r.ports[po].out.Send(now, p, outVC)
+		if r.m.checks != nil {
+			r.m.checks.OnSend(p, r.ports[po].out, outVC, now)
+		}
 		r.ports[pi].in.ReturnCredit(now, vci, p.Size)
 		r.inBusy[pi] = now + uint64(p.Size)
 		r.m.Engine.Progress()

@@ -1,0 +1,89 @@
+package multicast
+
+import (
+	"testing"
+
+	"anton2/internal/topo"
+)
+
+// FuzzMulticastTable builds a multicast tree from fuzzed shapes and
+// destination sets, compiles it to the in-hardware table form, and replays
+// the table's forwarding semantics: starting one copy at the root, every
+// node that receives a copy forwards along its Forward directions and
+// delivers to its Deliver endpoints. The properties under test are the ones
+// the exactly-once delivery guarantee rests on: the replicated flood
+// terminates, no node receives more than one copy (the tree has in-degree 1,
+// so per-arrival fan-out cannot duplicate), and every destination endpoint
+// receives exactly one copy.
+func FuzzMulticastTable(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(8), uint16(0), uint64(0x123456789abcdef0), uint8(0), uint8(3))
+	f.Add(uint8(4), uint8(4), uint8(2), uint16(17), uint64(0xffffffffffffffff), uint8(5), uint8(8))
+	f.Add(uint8(2), uint8(1), uint8(1), uint16(1), uint64(1), uint8(2), uint8(1))
+
+	f.Fuzz(func(t *testing.T, kx, ky, kz uint8, rootSel uint16, destBits uint64, orderIdx, nDests uint8) {
+		shape := topo.Shape3(int(kx%8)+1, int(ky%8)+1, int(kz%8)+1)
+		n := shape.NumNodes()
+		root := shape.Coord(int(rootSel) % n)
+		order := topo.AllDimOrders[int(orderIdx)%len(topo.AllDimOrders)]
+
+		// Derive up to 16 destinations from the fuzzed bits; duplicates of
+		// the same (node, ep) are legal table entries and must each count.
+		var dests []topo.NodeEp
+		for i, want := 0, int(nDests%16)+1; i < want; i++ {
+			bits := destBits >> (i * 4) // reuse bits cyclically past 16
+			node := int((bits ^ uint64(i)*2654435761) % uint64(n))
+			ep := int((bits >> 2) % topo.NumEndpoints)
+			dests = append(dests, topo.NodeEp{Node: node, Ep: ep})
+		}
+
+		tree := Build(shape, root, dests, order, 0)
+		c := tree.Compile(shape)
+
+		expected := map[topo.NodeEp]int{}
+		for _, d := range dests {
+			expected[d]++
+		}
+		if got := c.TotalDeliveries(); got != len(dests) {
+			t.Fatalf("TotalDeliveries = %d, want %d", got, len(dests))
+		}
+
+		// Replay the table flood.
+		copies := map[int]int{}
+		delivered := map[topo.NodeEp]int{}
+		queue := []int{shape.NodeID(root)}
+		copies[queue[0]]++
+		steps := 0
+		for len(queue) > 0 {
+			if steps++; steps > n+tree.TorusHops()+1 {
+				t.Fatalf("table flood did not terminate within %d steps", steps)
+			}
+			cur := queue[0]
+			queue = queue[1:]
+			e := c.Entries[cur]
+			for _, ep := range e.Deliver {
+				delivered[topo.NodeEp{Node: cur, Ep: ep}]++
+			}
+			for _, dir := range e.Forward {
+				next := shape.NodeID(shape.Neighbor(shape.Coord(cur), dir))
+				copies[next]++
+				if copies[next] > 1 {
+					t.Fatalf("node %d received %d copies (tree in-degree > 1): shape %v root %v order %v dests %v",
+						next, copies[next], shape, root, order, dests)
+				}
+				queue = append(queue, next)
+			}
+		}
+
+		for d, want := range expected {
+			if delivered[d] != want {
+				t.Fatalf("destination %v delivered %d copies, want %d (shape %v root %v order %v)",
+					d, delivered[d], want, shape, root, order)
+			}
+		}
+		for d, got := range delivered {
+			if expected[d] == 0 {
+				t.Fatalf("unexpected delivery of %d copies to non-destination %v", got, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"anton2/internal/route"
+	"anton2/internal/topo"
+)
+
+// Wire format: the 8-byte Anton 2 packet header packs the routing choices
+// made at injection — source and destination, traffic class, the randomized
+// dimension order, slice, and tie-break signs (Section 2.3), the arbitration
+// pattern label (Section 3.2), and the multicast group id (Section 2.3) —
+// into a single 64-bit little-endian word, followed by the payload.
+//
+// Bit layout (LSB first):
+//
+//	[ 0,12) source node      (radix <= 16 per dimension -> 4096 nodes)
+//	[12,17) source endpoint  (23 endpoints per node)
+//	[17,29) destination node
+//	[29,34) destination endpoint
+//	[34,35) traffic class
+//	[35,38) dimension order  (index into topo.AllDimOrders)
+//	[38,39) slice
+//	[39,42) tie-break signs  (1 = positive, one bit per dimension)
+//	[42,44) pattern label
+//	[44,50) payload length in bytes (<= 32)
+//	[50,64) multicast group  (all-ones = unicast)
+const (
+	maxWireNode = 1 << 12
+	maxPattern  = 1 << 2
+	// MaxWireMGroup is the largest encodable multicast group id; the
+	// all-ones value is reserved to mean unicast.
+	MaxWireMGroup = 1<<14 - 2
+
+	mgroupUnicast = 1<<14 - 1
+)
+
+// Codec errors. ErrTruncated covers buffers shorter than the header or the
+// encoded payload length; ErrFieldRange covers field values outside the wire
+// format's bounds.
+var (
+	ErrTruncated  = errors.New("packet: truncated buffer")
+	ErrFieldRange = errors.New("packet: field out of range")
+)
+
+// Header is the decoded form of the 8-byte wire header.
+type Header struct {
+	Src, Dst  topo.NodeEp
+	Class     route.Class
+	Order     topo.DimOrder
+	Slice     uint8
+	Ties      [topo.NumDims]int8 // +1 or -1 per dimension
+	PatternID uint8
+	MGroup    int // multicast group id, -1 for unicast
+}
+
+// orderIndex returns a dimension order's position in topo.AllDimOrders.
+func orderIndex(o topo.DimOrder) (int, bool) {
+	for i, cand := range topo.AllDimOrders {
+		if cand == o {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func checkNodeEp(role string, ne topo.NodeEp) error {
+	if ne.Node < 0 || ne.Node >= maxWireNode {
+		return fmt.Errorf("%w: %s node %d (max %d)", ErrFieldRange, role, ne.Node, maxWireNode-1)
+	}
+	if ne.Ep < 0 || ne.Ep >= topo.NumEndpoints {
+		return fmt.Errorf("%w: %s endpoint %d (max %d)", ErrFieldRange, role, ne.Ep, topo.NumEndpoints-1)
+	}
+	return nil
+}
+
+// Encode packs a header and payload into wire form.
+func Encode(h Header, payload []byte) ([]byte, error) {
+	if err := checkNodeEp("source", h.Src); err != nil {
+		return nil, err
+	}
+	if err := checkNodeEp("destination", h.Dst); err != nil {
+		return nil, err
+	}
+	if h.Class >= route.NumClasses {
+		return nil, fmt.Errorf("%w: class %d", ErrFieldRange, h.Class)
+	}
+	oi, ok := orderIndex(h.Order)
+	if !ok {
+		return nil, fmt.Errorf("%w: dimension order %v", ErrFieldRange, h.Order)
+	}
+	if h.Slice >= topo.NumSlices {
+		return nil, fmt.Errorf("%w: slice %d", ErrFieldRange, h.Slice)
+	}
+	var ties uint64
+	for d, t := range h.Ties {
+		switch t {
+		case 1:
+			ties |= 1 << d
+		case -1:
+		default:
+			return nil, fmt.Errorf("%w: tie-break sign %d for dim %v (want +1 or -1)", ErrFieldRange, t, topo.Dim(d))
+		}
+	}
+	if h.PatternID >= maxPattern {
+		return nil, fmt.Errorf("%w: pattern %d", ErrFieldRange, h.PatternID)
+	}
+	if len(payload) > MaxPayloadBytes {
+		return nil, fmt.Errorf("%w: payload %d bytes (max %d)", ErrFieldRange, len(payload), MaxPayloadBytes)
+	}
+	mg := uint64(mgroupUnicast)
+	if h.MGroup >= 0 {
+		if h.MGroup > MaxWireMGroup {
+			return nil, fmt.Errorf("%w: multicast group %d (max %d)", ErrFieldRange, h.MGroup, MaxWireMGroup)
+		}
+		mg = uint64(h.MGroup)
+	} else if h.MGroup != -1 {
+		return nil, fmt.Errorf("%w: multicast group %d", ErrFieldRange, h.MGroup)
+	}
+
+	w := uint64(h.Src.Node) |
+		uint64(h.Src.Ep)<<12 |
+		uint64(h.Dst.Node)<<17 |
+		uint64(h.Dst.Ep)<<29 |
+		uint64(h.Class)<<34 |
+		uint64(oi)<<35 |
+		uint64(h.Slice)<<38 |
+		ties<<39 |
+		uint64(h.PatternID)<<42 |
+		uint64(len(payload))<<44 |
+		mg<<50
+
+	out := make([]byte, HeaderBytes+len(payload))
+	binary.LittleEndian.PutUint64(out, w)
+	copy(out[HeaderBytes:], payload)
+	return out, nil
+}
+
+// Decode unpacks a wire buffer into a header and its payload (aliasing
+// data). The buffer must be exactly header plus encoded payload length.
+func Decode(data []byte) (Header, []byte, error) {
+	if len(data) < HeaderBytes {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), HeaderBytes)
+	}
+	w := binary.LittleEndian.Uint64(data)
+	h := Header{
+		Src:       topo.NodeEp{Node: int(w & 0xFFF), Ep: int(w >> 12 & 0x1F)},
+		Dst:       topo.NodeEp{Node: int(w >> 17 & 0xFFF), Ep: int(w >> 29 & 0x1F)},
+		Class:     route.Class(w >> 34 & 1),
+		Slice:     uint8(w >> 38 & 1),
+		PatternID: uint8(w >> 42 & 0x3),
+	}
+	if h.Src.Ep >= topo.NumEndpoints || h.Dst.Ep >= topo.NumEndpoints {
+		return Header{}, nil, fmt.Errorf("%w: endpoint out of range (src %d, dst %d)", ErrFieldRange, h.Src.Ep, h.Dst.Ep)
+	}
+	oi := int(w >> 35 & 0x7)
+	if oi >= len(topo.AllDimOrders) {
+		return Header{}, nil, fmt.Errorf("%w: dimension-order index %d", ErrFieldRange, oi)
+	}
+	h.Order = topo.AllDimOrders[oi]
+	for d := 0; d < topo.NumDims; d++ {
+		if w>>(39+d)&1 != 0 {
+			h.Ties[d] = 1
+		} else {
+			h.Ties[d] = -1
+		}
+	}
+	paylen := int(w >> 44 & 0x3F)
+	if paylen > MaxPayloadBytes {
+		return Header{}, nil, fmt.Errorf("%w: payload length %d (max %d)", ErrFieldRange, paylen, MaxPayloadBytes)
+	}
+	if len(data) != HeaderBytes+paylen {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes, header declares %d of payload", ErrTruncated, len(data), paylen)
+	}
+	if mg := int(w >> 50 & 0x3FFF); mg == mgroupUnicast {
+		h.MGroup = -1
+	} else {
+		h.MGroup = mg
+	}
+	return h, data[HeaderBytes:], nil
+}
+
+// HeaderOf extracts the wire header fields of an in-memory packet.
+func HeaderOf(p *Packet) Header {
+	return Header{
+		Src:       p.Src,
+		Dst:       p.Dst,
+		Class:     p.Route.Class,
+		Order:     p.Route.DimOrder,
+		Slice:     p.Route.Slice,
+		Ties:      p.Route.Ties,
+		PatternID: p.PatternID,
+		MGroup:    p.MGroup,
+	}
+}

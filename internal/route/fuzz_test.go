@@ -1,0 +1,94 @@
+package route
+
+import (
+	"testing"
+
+	"anton2/internal/topo"
+)
+
+// fuzzShape maps three fuzz bytes onto a valid torus shape with radices in
+// [1,8], covering the degenerate 1-ary and 2-ary rings alongside production
+// sizes.
+func fuzzShape(kx, ky, kz uint8) topo.TorusShape {
+	return topo.Shape3(int(kx%8)+1, int(ky%8)+1, int(kz%8)+1)
+}
+
+// FuzzWalk drives the full route enumeration — the exact transition
+// functions the simulator executes — across fuzzed shapes, endpoints, and
+// routing choices, and asserts the properties the deadlock and load analyses
+// rely on: the walk terminates at the destination (Walk panics otherwise),
+// takes exactly the minimal inter-node hop count, and never demotes or
+// overflows a VC counter.
+func FuzzWalk(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(8), uint16(0), uint16(511), uint8(0), uint8(22), uint8(0), uint8(1), uint8(5), uint8(0), false)
+	f.Add(uint8(4), uint8(4), uint8(2), uint16(3), uint16(3), uint8(7), uint8(7), uint8(3), uint8(0), uint8(2), uint8(1), true)
+	f.Add(uint8(1), uint8(1), uint8(1), uint16(0), uint16(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(2), true)
+
+	f.Fuzz(func(t *testing.T, kx, ky, kz uint8, srcNode, dstNode uint16,
+		srcEp, dstEp, orderIdx, sliceTies, class, schemeSel uint8, exitSkip bool) {
+		shape := fuzzShape(kx, ky, kz)
+		m, err := topo.NewMachine(shape)
+		if err != nil {
+			t.Fatalf("NewMachine(%v): %v", shape, err)
+		}
+		var scheme Scheme
+		switch schemeSel % 3 {
+		case 0:
+			scheme = AntonScheme{}
+		case 1:
+			scheme = BaselineScheme{}
+		default:
+			scheme = NoDatelineScheme{}
+		}
+		cfg := &Config{
+			Machine:  m,
+			Scheme:   scheme,
+			DirOrder: topo.DefaultDirOrder,
+			UseSkip:  true,
+			ExitSkip: exitSkip,
+		}
+		src := topo.NodeEp{Node: int(srcNode) % shape.NumNodes(), Ep: int(srcEp) % topo.NumEndpoints}
+		dst := topo.NodeEp{Node: int(dstNode) % shape.NumNodes(), Ep: int(dstEp) % topo.NumEndpoints}
+		ord := topo.AllDimOrders[int(orderIdx)%len(topo.AllDimOrders)]
+		slice := sliceTies % topo.NumSlices
+		var ties [topo.NumDims]int8
+		for d := 0; d < topo.NumDims; d++ {
+			if sliceTies>>(1+d)&1 != 0 {
+				ties[d] = 1
+			} else {
+				ties[d] = -1
+			}
+		}
+
+		hops := Walk(cfg, src, dst, ord, slice, ties, Class(class%NumClasses))
+
+		torusHops := 0
+		var lastTVC int = -1
+		for _, h := range hops {
+			if !m.IsTorusChan(h.Chan) {
+				continue
+			}
+			torusHops++
+			if int(h.VC) >= scheme.TorusVCs() {
+				t.Fatalf("torus hop uses VC %d, scheme %s allows %d", h.VC, scheme.Name(), scheme.TorusVCs())
+			}
+			if int(h.VC) < lastTVC {
+				t.Fatalf("T-VC demoted %d -> %d along %v->%v (scheme %s, order %v, ties %v)",
+					lastTVC, h.VC, src, dst, scheme.Name(), ord, ties)
+			}
+			lastTVC = int(h.VC)
+		}
+		if want := InterNodeHops(shape, src, dst); torusHops != want {
+			t.Fatalf("route %v->%v on %v took %d torus hops, minimal is %d", src, dst, shape, torusHops, want)
+		}
+
+		// Every torus hop must leave on the slice the packet chose.
+		for _, h := range hops {
+			if m.IsTorusChan(h.Chan) {
+				if _, ad := m.TorusChanOf(h.Chan); ad.Slice != int(slice) {
+					t.Fatalf("route with slice %d crossed torus channel of slice %d", slice, ad.Slice)
+				}
+			}
+		}
+	})
+}

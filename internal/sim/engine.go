@@ -22,6 +22,13 @@ type Engine struct {
 	now      uint64
 	comps    []Component
 	progress uint64 // bumped by components via Progress(); used by watchdog
+
+	// AfterStep, when non-nil, is invoked at the end of every Step with the
+	// cycle that just completed (after all components ticked, before the
+	// clock advances). The invariant-checking layer hangs its per-cycle
+	// scans off this hook; when nil the engine pays a single predicted
+	// branch per cycle.
+	AfterStep func(now uint64)
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -43,6 +50,9 @@ func (e *Engine) Progress() { e.progress++ }
 func (e *Engine) Step() {
 	for _, c := range e.comps {
 		c.Tick(e.now)
+	}
+	if e.AfterStep != nil {
+		e.AfterStep(e.now)
 	}
 	e.now++
 }
