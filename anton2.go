@@ -44,6 +44,7 @@ import (
 	"anton2/internal/packaging"
 	"anton2/internal/power"
 	"anton2/internal/route"
+	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
 	"anton2/internal/wctraffic"
@@ -101,6 +102,20 @@ func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
 
 // CyclesToNS converts 1.5 GHz network cycles to nanoseconds.
 func CyclesToNS(cycles float64) float64 { return machine.CyclesToNS(cycles) }
+
+// Observability (attach via Config.Telemetry; never perturbs results).
+type (
+	// TelemetryOptions tunes the opt-in zero-cost-off telemetry collector:
+	// windowed channel utilization, VC occupancy, arbiter grant shares, and
+	// packet lifecycle traces.
+	TelemetryOptions = telemetry.Options
+	// TelemetryReport is the finished telemetry summary.
+	TelemetryReport = telemetry.Report
+)
+
+// RenderHeatmap renders a telemetry report's torus channel utilization as a
+// text heatmap.
+func RenderHeatmap(r *TelemetryReport) string { return telemetry.RenderHeatmap(r) }
 
 // Arbitration flavors.
 const (

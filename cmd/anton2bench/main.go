@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	anton2bench [-quick] [-parallel N] [-json dir] [-check]
+//	anton2bench [-quick] [-parallel N] [-json dir] [-check] [-telemetry dir]
+//	            [-cpuprofile file] [-memprofile file]
 //	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
+//
+// Simulation figures also answer to topic aliases: throughput (fig9), blend
+// (fig10), latency (fig11), decomposition (fig12), energy (fig13).
 //
 // Without -quick, the saturation experiments run on an 8x4x2 machine with
 // batches up to 1024 packets per core (minutes); -quick shrinks them to
@@ -19,6 +23,14 @@
 // order, multicast delivery); violations fail the experiment. Checking does
 // not perturb results or seeds.
 //
+// With -telemetry, every simulated point runs under the internal/telemetry
+// collector: per-point JSON reports (<dir>/<figure>-pNN.json) with windowed
+// channel utilization, per-VC occupancy histograms, and arbiter grant
+// shares, plus a Perfetto-loadable <dir>/<figure>-pNN.trace.json packet
+// trace, and a per-channel utilization heatmap after each figure. Telemetry,
+// like checking, never perturbs results, seeds, or cache keys. -cpuprofile
+// and -memprofile write pprof profiles of the bench process itself.
+//
 // Exit status: 0 on success, 1 if any experiment fails, 2 for an unknown
 // experiment name.
 package main
@@ -27,8 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 
 	"anton2/internal/area"
 	"anton2/internal/core"
@@ -39,16 +54,20 @@ import (
 	"anton2/internal/packaging"
 	"anton2/internal/power"
 	"anton2/internal/route"
+	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
 	"anton2/internal/wctraffic"
 )
 
 var (
-	quick     = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
-	parallel  = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
-	jsonDir   = flag.String("json", "", "write per-figure JSON artifacts under this directory")
-	checkFlag = flag.Bool("check", false, "run simulations under the runtime invariant-checking suite")
+	quick        = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+	parallel     = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	jsonDir      = flag.String("json", "", "write per-figure JSON artifacts under this directory")
+	checkFlag    = flag.Bool("check", false, "run simulations under the runtime invariant-checking suite")
+	telemetryDir = flag.String("telemetry", "", "write per-point telemetry reports and packet traces under this directory")
+	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench process to this file")
+	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 // resultCache memoizes simulation points across figures within one
@@ -65,10 +84,22 @@ var experiments = []struct {
 	{"fig11", fig11}, {"fig9", fig9}, {"fig10", fig10},
 }
 
+// aliases maps topic names onto figure numbers.
+var aliases = map[string]string{
+	"throughput":    "fig9",
+	"blend":         "fig10",
+	"latency":       "fig11",
+	"decomposition": "fig12",
+	"energy":        "fig13",
+}
+
 func validNames() []string {
-	names := make([]string, 0, len(experiments)+1)
+	names := make([]string, 0, len(experiments)+len(aliases)+1)
 	for _, e := range experiments {
 		names = append(names, e.name)
+	}
+	for a := range aliases {
+		names = append(names, a)
 	}
 	names = append(names, "all")
 	sort.Strings(names)
@@ -85,9 +116,25 @@ func benchConfig(shape topo.TorusShape) machine.Config {
 
 func main() {
 	flag.Parse()
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anton2bench:", err)
+		os.Exit(1)
+	}
+	code := run()
+	stopProfiles()
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run() int {
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
+	}
+	if fig, ok := aliases[what]; ok {
+		what = fig
 	}
 	if what == "all" {
 		failed := 0
@@ -100,22 +147,110 @@ func main() {
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "anton2bench: %d of %d experiments failed\n", failed, len(experiments))
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	for _, e := range experiments {
 		if e.name == what {
 			if err := e.run(); err != nil {
 				fmt.Fprintf(os.Stderr, "anton2bench: %s failed: %v\n", e.name, err)
-				os.Exit(1)
+				return 1
 			}
-			return
+			return 0
 		}
 	}
 	fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q (valid: %s)\n",
 		what, strings.Join(validNames(), ", "))
-	os.Exit(2)
+	return 2
+}
+
+// startProfiles begins the -cpuprofile capture and returns a stop function
+// that finishes it and writes the -memprofile snapshot; the stop must run
+// before the process exits or the profiles are truncated.
+func startProfiles() (func(), error) {
+	var stops []func()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anton2bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anton2bench: memprofile:", err)
+			}
+		})
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
+}
+
+// telemetryOpts returns a per-point telemetry factory for one figure: nil
+// options when -telemetry is off, otherwise distinct artifact names
+// <fig>-p00, <fig>-p01, ... under the -telemetry directory, with a few
+// packets traced per point. The last report to finish feeds the post-sweep
+// heatmap. Points served from the in-process result cache never run, so
+// they write no artifact.
+func telemetryOpts(fig string) func() *telemetry.Options {
+	if *telemetryDir == "" {
+		return func() *telemetry.Options { return nil }
+	}
+	seq := 0
+	return func() *telemetry.Options {
+		name := fmt.Sprintf("%s-p%02d", fig, seq)
+		seq++
+		return &telemetry.Options{
+			Dir:          *telemetryDir,
+			Name:         name,
+			TracePackets: 4,
+			Sink:         keepHeatmapReport,
+		}
+	}
+}
+
+var (
+	heatmapMu     sync.Mutex
+	heatmapReport *telemetry.Report
+)
+
+// keepHeatmapReport is the telemetry sink; parallel workers may finish
+// concurrently.
+func keepHeatmapReport(r *telemetry.Report) {
+	heatmapMu.Lock()
+	heatmapReport = r
+	heatmapMu.Unlock()
+}
+
+// printHeatmap renders the most recent telemetry report's channel
+// utilization; a no-op when no report was collected.
+func printHeatmap() {
+	heatmapMu.Lock()
+	r := heatmapReport
+	heatmapReport = nil
+	heatmapMu.Unlock()
+	if r != nil {
+		fmt.Print(telemetry.RenderHeatmap(r))
+	}
 }
 
 // sweep runs one figure's jobs through the orchestrator, writes artifacts
@@ -262,6 +397,8 @@ func fig12() error {
 	header("Figure 12: minimum-latency decomposition", "99 ns nearest-neighbor one-way; network only ~40%")
 	cfg := core.DefaultLatencyConfig(topo.Shape3(4, 4, 4))
 	cfg.Machine.Check = *checkFlag
+	cfg.Machine.Telemetry = telemetryOpts("fig12")()
+	defer printHeatmap()
 	comps := core.DecomposeMinLatency(cfg)
 	var total, network float64
 	for _, c := range comps {
@@ -290,7 +427,6 @@ func fig12() error {
 func fig13() error {
 	header("Figure 13: router energy vs injection rate",
 		"E = 42.7 + 0.837h + (34.4 + 0.250n)(a/r) pJ; energy falls as rate rises past 0.5")
-	mc := benchConfig(topo.Shape3(1, 1, 1))
 	flits := 1200
 	if *quick {
 		flits = 400
@@ -298,9 +434,12 @@ func fig13() error {
 	rates := [][2]int{{1, 8}, {1, 4}, {1, 2}, {5, 8}, {3, 4}, {7, 8}, {1, 1}}
 	payloads := []core.PayloadKind{core.PayloadZeros, core.PayloadOnes, core.PayloadRandom}
 
+	tel := telemetryOpts("fig13")
 	var jobs []exp.Job
 	for _, payload := range payloads {
 		for _, r := range rates {
+			mc := benchConfig(topo.Shape3(1, 1, 1))
+			mc.Telemetry = tel()
 			jobs = append(jobs, core.EnergyJob(core.EnergyConfig{
 				Machine: mc, Model: power.PaperModel,
 				RateNum: r[0], RateDen: r[1],
@@ -309,6 +448,7 @@ func fig13() error {
 		}
 	}
 	rs, sweepErr := sweep("fig13", jobs)
+	defer printHeatmap()
 
 	fmt.Printf("measured: %-7s", "rate")
 	for _, r := range rates {
@@ -348,7 +488,9 @@ func fig11() error {
 	}
 	lcfg := core.DefaultLatencyConfig(shape)
 	lcfg.Machine.Check = *checkFlag
+	lcfg.Machine.Telemetry = telemetryOpts("fig11")()
 	rs, sweepErr := sweep("fig11", []exp.Job{core.LatencyJob(lcfg)})
+	defer printHeatmap()
 	if sweepErr != nil {
 		return sweepErr
 	}
@@ -374,6 +516,7 @@ func fig9() error {
 		iw   bool
 	}{{"round-robin", false}, {"inverse-weighted", true}}
 
+	tel := telemetryOpts("fig9")
 	var jobs []exp.Job
 	for _, pat := range patterns {
 		for _, arb := range arbs {
@@ -382,6 +525,7 @@ func fig9() error {
 				if arb.iw {
 					mc.Arbiter = 1
 				}
+				mc.Telemetry = tel()
 				jobs = append(jobs, core.ThroughputJob(core.ThroughputConfig{
 					Machine:        mc,
 					Pattern:        pat,
@@ -392,6 +536,7 @@ func fig9() error {
 		}
 	}
 	rs, sweepErr := sweep("fig9", jobs)
+	defer printHeatmap()
 
 	i := 0
 	for _, pat := range patterns {
@@ -424,11 +569,14 @@ func fig10() error {
 	}
 	modes := []core.WeightMode{core.WeightsNone, core.WeightsForward, core.WeightsReverse, core.WeightsBoth}
 
+	tel := telemetryOpts("fig10")
 	var jobs []exp.Job
 	for _, mode := range modes {
 		for _, f := range fractions {
+			mc := benchConfig(satShape())
+			mc.Telemetry = tel()
 			jobs = append(jobs, core.BlendJob(core.BlendConfig{
-				Machine:         benchConfig(satShape()),
+				Machine:         mc,
 				Weights:         mode,
 				ForwardFraction: f,
 				Batch:           batch,
@@ -436,6 +584,7 @@ func fig10() error {
 		}
 	}
 	rs, sweepErr := sweep("fig10", jobs)
+	defer printHeatmap()
 
 	fmt.Printf("measured: %-8s", "weights")
 	for _, f := range fractions {

@@ -6,10 +6,18 @@
 //
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
 //	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir] [-check]
+//	          [-telemetry dir] [-cpuprofile file] [-memprofile file]
 //
 // With -check, the run executes under the internal/check invariant suite
 // (flit conservation, credit accounting, VC monotonicity, dimension order);
 // any violation fails the run. Checking never perturbs results or seeds.
+//
+// With -telemetry, the run executes under the internal/telemetry collector:
+// a JSON report (<dir>/anton2sim.json) with windowed channel utilization,
+// per-VC occupancy histograms, and arbiter grant shares, plus a
+// Perfetto-loadable <dir>/anton2sim.trace.json packet trace, and a torus
+// utilization heatmap on stdout. Telemetry never perturbs results or seeds.
+// -cpuprofile and -memprofile write pprof profiles of the process.
 //
 // The run goes through the internal/exp orchestrator: the simulation seed is
 // derived from a canonical hash of the full configuration (the -seed value
@@ -21,31 +29,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"anton2/internal/arbiter"
 	"anton2/internal/core"
 	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/route"
+	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
 )
 
-func main() {
-	shapeFlag := flag.String("shape", "8x4x2", "torus shape KxKxK")
-	patternFlag := flag.String("pattern", "uniform", "traffic pattern")
-	arbFlag := flag.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
-	batch := flag.Int("batch", 256, "packets per core")
-	schemeFlag := flag.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
-	seed := flag.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
-	jsonDir := flag.String("json", "", "write a JSON result artifact under this directory")
-	checkFlag := flag.Bool("check", false, "run under the runtime invariant-checking suite")
-	flag.Parse()
+var (
+	shapeFlag    = flag.String("shape", "8x4x2", "torus shape KxKxK")
+	patternFlag  = flag.String("pattern", "uniform", "traffic pattern")
+	arbFlag      = flag.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
+	batch        = flag.Int("batch", 256, "packets per core")
+	schemeFlag   = flag.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
+	seed         = flag.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
+	jsonDir      = flag.String("json", "", "write a JSON result artifact under this directory")
+	checkFlag    = flag.Bool("check", false, "run under the runtime invariant-checking suite")
+	telemetryDir = flag.String("telemetry", "", "write a telemetry report and packet trace under this directory")
+	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+)
 
+func main() {
+	flag.Parse()
+	stopProfiles, err := startProfiles()
+	fail(err)
+	err = run()
+	stopProfiles()
+	fail(err)
+}
+
+func run() error {
 	shape, err := parseShape(*shapeFlag)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	pattern, err := parsePattern(*patternFlag)
-	fail(err)
+	if err != nil {
+		return err
+	}
 
 	mc := machine.DefaultConfig(shape)
 	mc.Seed = *seed
@@ -56,7 +84,7 @@ func main() {
 	case "baseline":
 		mc.Scheme = route.BaselineScheme{}
 	default:
-		fail(fmt.Errorf("unknown scheme %q", *schemeFlag))
+		return fmt.Errorf("unknown scheme %q", *schemeFlag)
 	}
 	switch *arbFlag {
 	case "rr":
@@ -64,7 +92,16 @@ func main() {
 	case "iw":
 		mc.Arbiter = arbiter.KindInverseWeighted
 	default:
-		fail(fmt.Errorf("unknown arbiter %q", *arbFlag))
+		return fmt.Errorf("unknown arbiter %q", *arbFlag)
+	}
+	var telReport *telemetry.Report
+	if *telemetryDir != "" {
+		mc.Telemetry = &telemetry.Options{
+			Dir:          *telemetryDir,
+			Name:         "anton2sim",
+			TracePackets: 4,
+			Sink:         func(r *telemetry.Report) { telReport = r },
+		}
 	}
 
 	fmt.Printf("simulating %v, %d cores/node, pattern %s, %s arbiters, %s VC scheme, batch %d\n",
@@ -79,10 +116,14 @@ func main() {
 	rs := exp.Run([]exp.Job{job}, exp.Serial())
 	if *jsonDir != "" {
 		path, err := exp.WriteArtifacts(*jsonDir, "anton2sim", rs)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(os.Stderr, "anton2sim: wrote", path)
 	}
-	fail(exp.FirstErr(rs))
+	if err := exp.FirstErr(rs); err != nil {
+		return err
+	}
 	res := rs[0].Value.(core.ThroughputResult)
 
 	packets := uint64(shape.NumNodes()) * uint64(topo.NumRouters) * uint64(*batch)
@@ -91,6 +132,51 @@ func main() {
 	fmt.Printf("  normalized throughput:  %.3f (1.0 = busiest torus channel saturated)\n", res.Normalized)
 	fmt.Printf("  torus utilization:      mean %.1f%%, max %.1f%%\n", 100*res.MeanUtilization, 100*res.MaxUtilization)
 	fmt.Printf("  completion fairness:    %.4f (Jain index over per-core finish times)\n", res.Fairness)
+	if telReport != nil {
+		fmt.Println()
+		fmt.Print(telemetry.RenderHeatmap(telReport))
+	}
+	return nil
+}
+
+// startProfiles begins the -cpuprofile capture and returns a stop function
+// that finishes it and writes the -memprofile snapshot; run it before the
+// process exits or the profiles are truncated.
+func startProfiles() (func(), error) {
+	var stops []func()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anton2sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anton2sim: memprofile:", err)
+			}
+		})
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
 }
 
 func parsePattern(s string) (traffic.Pattern, error) {

@@ -29,6 +29,8 @@ func (r BlendResult) SimCycles() uint64 { return r.Cycles }
 // spec. Function-valued and table-valued fields (LinkLatency, Multicast,
 // Weights) are encoded by presence: weights are derived from the listed
 // weight patterns, and the sweeps in this package never set the other two.
+// Check and Telemetry are deliberately excluded — the observability layers
+// never affect results, so toggling them must not change cache keys.
 func addMachine(s *exp.Spec, cfg machine.Config) *exp.Spec {
 	scheme := cfg.Scheme
 	if scheme == nil {

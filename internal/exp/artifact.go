@@ -21,14 +21,21 @@ type ArtifactFile struct {
 // WriteArtifacts writes the sweep's results as pretty-printed JSON under
 // dir, creating it if needed, and returns the file path.
 func WriteArtifacts(dir, name string, results []Result) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("exp: artifact dir: %w", err)
-	}
-	b, err := json.MarshalIndent(ArtifactFile{
+	return WriteJSON(dir, name, ArtifactFile{
 		Name:      name,
 		WrittenAt: time.Now().UTC().Format(time.RFC3339),
 		Results:   results,
-	}, "", "  ")
+	})
+}
+
+// WriteJSON marshals v as pretty-printed JSON to <dir>/<name>.json, creating
+// dir if needed, and returns the file path. It is the shared artifact writer
+// for sweep results and telemetry reports.
+func WriteJSON(dir, name string, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("exp: artifact dir: %w", err)
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("exp: marshal artifacts: %w", err)
 	}

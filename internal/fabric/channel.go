@@ -64,8 +64,9 @@ type Channel struct {
 	sentAny     bool
 
 	// Sent counts total flits forwarded (always maintained; used for
-	// utilization reporting).
+	// utilization reporting). Pkts is the packet analogue.
 	Sent uint64
+	Pkts uint64
 }
 
 // Config sizes a channel.
@@ -159,6 +160,7 @@ func (ch *Channel) Send(now uint64, p *packet.Packet, vc uint8) {
 	ch.credit[vc] -= int(p.Size)
 	p.CurVC = vc
 	ch.Sent += uint64(p.Size)
+	ch.Pkts++
 
 	if ch.Energy != nil {
 		ch.countEnergy(now, p)
@@ -228,3 +230,6 @@ func (ch *Channel) CorruptCreditsForTest(vc uint8, delta int) {
 
 // FlitsSent returns the total flits forwarded over the channel's lifetime.
 func (ch *Channel) FlitsSent() uint64 { return ch.Sent }
+
+// RateMilli returns the serialization rate in millicycles per flit.
+func (ch *Channel) RateMilli() uint64 { return ch.rate }

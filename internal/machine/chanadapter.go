@@ -33,6 +33,11 @@ type ChannelAdapter struct {
 	inArb arbiter.Arbiter
 	pats  []uint8 // scratch pattern labels for arbiter picks
 
+	// outLabel is the precomputed "torus out <id>" tracepoint stage: the
+	// serializer send sits on the hot path, and rebuilding the label there
+	// would allocate for every packet whether or not it is traced.
+	outLabel string
+
 	queued int
 
 	// Diagnostic counters: per path, packets sent and cycles where a
@@ -57,6 +62,7 @@ func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter 
 		torusIn:    m.chans[m.Topo.TorusChanID(u, id.Dir.Opposite(), id.Slice)],
 		eg:         make([]vcq, tvcs),
 		ing:        make([]vcq, tvcs),
+		outLabel:   "torus out " + id.String(),
 	}
 	a.egArb = m.newArbiter(tvcs, m.adapterWeights(true, id, tvcs))
 	a.inArb = m.newArbiter(tvcs, m.adapterWeights(false, id, tvcs))
@@ -130,6 +136,9 @@ func (a *ChannelAdapter) Tick(now uint64) {
 	if req != 0 {
 		a.EgSent++
 		g := a.egArb.Pick(req, a.pats)
+		if a.m.tel != nil {
+			a.m.tel.OnAdapterGrant(true, a.node, a.id.Index(), g)
+		}
 		q := &a.eg[g]
 		outVC := q.outVC
 		p := q.pop()
@@ -138,7 +147,7 @@ func (a *ChannelAdapter) Tick(now uint64) {
 		if a.m.checks != nil {
 			a.m.checks.OnSend(p, a.torusOut, outVC, now)
 		}
-		p.Tracepoint("torus out "+a.id.String(), now)
+		p.Tracepoint(a.outLabel, now)
 		a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
 		a.m.Engine.Progress()
 	}
@@ -178,6 +187,9 @@ func (a *ChannelAdapter) Tick(now uint64) {
 	if req != 0 {
 		a.InSent++
 		g := a.inArb.Pick(req, a.pats)
+		if a.m.tel != nil {
+			a.m.tel.OnAdapterGrant(false, a.node, a.id.Index(), g)
+		}
 		q := &a.ing[g]
 		outVC := q.outVC
 		if len(q.branches) > 0 {

@@ -12,6 +12,7 @@ import (
 	"anton2/internal/loadcalc"
 	"anton2/internal/multicast"
 	"anton2/internal/route"
+	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 )
 
@@ -89,6 +90,13 @@ type Config struct {
 	Check bool
 	// CheckOptions tunes the attached suite (zero value = defaults).
 	CheckOptions check.Options
+
+	// Telemetry, when non-nil, attaches an internal/telemetry collector:
+	// windowed per-channel utilization, per-router per-VC occupancy
+	// histograms, per-arbiter grant counters, and optional packet traces.
+	// Like Check it never perturbs the simulation and is excluded from
+	// experiment cache keys.
+	Telemetry *telemetry.Options
 
 	// Seed makes runs reproducible.
 	Seed uint64

@@ -66,6 +66,9 @@ func (e *EndpointAdapter) Inject(p *packet.Packet) {
 	if e.m.checks != nil {
 		e.m.checks.OnInject(p, p.InjectedAt)
 	}
+	if e.m.tel != nil {
+		e.m.tel.OnInject(p, p.InjectedAt)
+	}
 }
 
 // Pending returns the number of packets queued for injection.

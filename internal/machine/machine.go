@@ -10,6 +10,7 @@ import (
 	"anton2/internal/packet"
 	"anton2/internal/route"
 	"anton2/internal/sim"
+	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 )
 
@@ -31,8 +32,10 @@ type Machine struct {
 
 	// checks is the attached invariant suite, or nil when Cfg.Check is
 	// false; every hook site guards on nil so disabled checking costs one
-	// predicted branch.
+	// predicted branch. tel follows the same discipline for the
+	// observability layer.
 	checks *check.Suite
+	tel    *telemetry.Collector
 }
 
 // Node groups one ASIC's components.
@@ -132,7 +135,28 @@ func New(cfg Config) (*Machine, error) {
 			Channels: m.chans,
 			Queued:   m.queuedPackets,
 		}, cfg.CheckOptions)
+	}
+	if cfg.Telemetry != nil {
+		m.tel = telemetry.NewCollector(telemetry.Env{
+			Topo:            tm,
+			Channels:        m.chans,
+			MaxVCs:          route.MaxTotalVCs(cfg.Scheme),
+			MeshVCBuf:       cfg.MeshVCBuf,
+			CyclePS:         CyclePS,
+			ScanVCOccupancy: m.scanVCOccupancy,
+		}, *cfg.Telemetry)
+	}
+	switch {
+	case m.checks != nil && m.tel != nil:
+		checks, tel := m.checks, m.tel
+		m.Engine.AfterStep = func(now uint64) {
+			checks.Cycle(now)
+			tel.Cycle(now)
+		}
+	case m.checks != nil:
 		m.Engine.AfterStep = m.checks.Cycle
+	case m.tel != nil:
+		m.Engine.AfterStep = m.tel.Cycle
 	}
 	return m, nil
 }
@@ -287,6 +311,9 @@ func (m *Machine) deliver(e *EndpointAdapter, p *packet.Packet, now uint64) {
 	if m.checks != nil {
 		m.checks.OnDeliver(p, now)
 	}
+	if m.tel != nil {
+		m.tel.OnDeliver(p, now)
+	}
 	retain := false
 	if e.OnDeliver != nil {
 		retain = e.OnDeliver(p, now)
@@ -311,6 +338,35 @@ func (m *Machine) Delivered() uint64 { return m.delivered }
 // Checks returns the attached invariant suite, or nil when Cfg.Check is
 // false.
 func (m *Machine) Checks() *check.Suite { return m.checks }
+
+// Telemetry returns the attached collector, or nil when Cfg.Telemetry is
+// unset.
+func (m *Machine) Telemetry() *telemetry.Collector { return m.tel }
+
+// scanVCOccupancy feeds the telemetry occupancy sampler: for every node it
+// visits each (chip router, VC) pair with the queued flit count summed over
+// the router's input ports.
+func (m *Machine) scanVCOccupancy(visit func(router int, vc uint8, flits int)) {
+	for _, node := range m.nodes {
+		for ri, r := range node.Routers {
+			maxVC := 0
+			for pi := range r.ports {
+				if n := len(r.ports[pi].vcs); n > maxVC {
+					maxVC = n
+				}
+			}
+			for vci := 0; vci < maxVC; vci++ {
+				flits := 0
+				for pi := range r.ports {
+					if vci < len(r.ports[pi].vcs) {
+						flits += r.ports[pi].vcs[vci].flits()
+					}
+				}
+				visit(ri, uint8(vci), flits)
+			}
+		}
+	}
+}
 
 // queuedPackets is the conservation census over component queues: router VC
 // queues, channel-adapter queues plus pending multicast branches, and
@@ -359,20 +415,28 @@ const drainBudget = 1 << 16
 // circulating streams can never drain), runs the end-of-run checks —
 // conservation of every injected packet, exact credit restoration,
 // exactly-once multicast delivery — and returns an error if any invariant
-// was violated during or after the run. It is a no-op without Cfg.Check.
+// was violated during or after the run. It also finalizes the attached
+// telemetry collector (closing its trailing window and emitting artifacts).
+// It is a no-op without Cfg.Check and Cfg.Telemetry.
 func (m *Machine) FinishChecks() error {
-	if m.checks == nil {
-		return nil
-	}
-	quiesced := false
-	if m.checks.Circulating() == 0 {
-		for i := 0; i < drainBudget && !m.quiet(); i++ {
-			m.Engine.Step()
+	var err error
+	if m.checks != nil {
+		quiesced := false
+		if m.checks.Circulating() == 0 {
+			for i := 0; i < drainBudget && !m.quiet(); i++ {
+				m.Engine.Step()
+			}
+			quiesced = m.quiet()
 		}
-		quiesced = m.quiet()
+		m.checks.Finish(m.Engine.Now(), quiesced)
+		err = m.checks.Err()
 	}
-	m.checks.Finish(m.Engine.Now(), quiesced)
-	return m.checks.Err()
+	if m.tel != nil {
+		if telErr := m.tel.Finish(m.Engine.Now()); err == nil {
+			err = telErr
+		}
+	}
+	return err
 }
 
 // RunUntilDelivered advances the simulation until the machine-wide delivered

@@ -123,6 +123,9 @@ func (r *Router) Tick(now uint64) {
 			continue
 		}
 		g := r.sa1[pi].Pick(req, r.pats)
+		if r.m.tel != nil {
+			r.m.tel.OnSA1Grant(r.node, r.routerID, pi, g)
+		}
 		r.cand[pi] = int8(g)
 	}
 
@@ -139,6 +142,9 @@ func (r *Router) Tick(now uint64) {
 			continue
 		}
 		g := r.sa2[po].Pick(req, r.pats)
+		if r.m.tel != nil {
+			r.m.tel.OnSA2Grant(r.node, r.routerID, po, g)
+		}
 		pi := g
 		vci := uint8(r.cand[pi])
 		q := &r.ports[pi].vcs[vci]

@@ -171,14 +171,22 @@ func NewHistogram(min, max float64, bins int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]uint64, bins)}
 }
 
-// Add records a value (clamped to the range).
+// Add records a value, clamping out-of-range (including ±Inf) values into
+// the first or last bin. NaN is dropped: float-to-int conversion of NaN is
+// implementation-defined in Go, so clamping in float space before converting
+// keeps the histogram deterministic across platforms.
 func (h *Histogram) Add(x float64) {
-	i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
-	if i < 0 {
-		i = 0
+	if math.IsNaN(x) {
+		return
 	}
-	if i >= len(h.Counts) {
-		i = len(h.Counts) - 1
+	i := 0
+	if x > h.Min {
+		f := float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min)
+		if f >= float64(len(h.Counts)) {
+			i = len(h.Counts) - 1
+		} else {
+			i = int(f)
+		}
 	}
 	h.Counts[i]++
 	h.Total++

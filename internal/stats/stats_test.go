@@ -113,6 +113,20 @@ func TestJainIndexBounds(t *testing.T) {
 	}
 }
 
+func TestJainIndexDegenerate(t *testing.T) {
+	// Empty and all-zero inputs mean "no traffic", which is trivially fair;
+	// both must report 1 rather than 0/0.
+	if j := JainIndex(nil); j != 1 {
+		t.Errorf("JainIndex(nil) = %g, want 1", j)
+	}
+	if j := JainIndex([]float64{}); j != 1 {
+		t.Errorf("JainIndex(empty) = %g, want 1", j)
+	}
+	if j := JainIndex([]float64{0, 0, 0}); j != 1 {
+		t.Errorf("JainIndex(zeros) = %g, want 1", j)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0, 100, 10)
 	for i := 0; i < 100; i++ {
@@ -129,5 +143,63 @@ func TestHistogram(t *testing.T) {
 	h.Add(500) // clamps high
 	if h.Counts[0] != 11 || h.Counts[9] != 11 {
 		t.Errorf("clamping failed: %v", h.Counts)
+	}
+}
+
+// TestHistogramEdges pins the histogram's behavior at every boundary the
+// telemetry occupancy sampler can hit: extreme quantiles, clamping at both
+// ends (including infinities), and empty data.
+func TestHistogramEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		add  []float64
+		q    float64
+		want float64
+	}{
+		// Quantiles of an empty histogram collapse to Min.
+		{"empty-q0", nil, 0, 0},
+		{"empty-q1", nil, 1, 0},
+		// q=1 reports the histogram's upper bound.
+		{"full-q1", []float64{10, 20, 30}, 1, 100},
+		// Out-of-range values clamp into the terminal bins (midpoints 5
+		// and 95 for a 0..100 histogram with 10 bins).
+		{"below-min", []float64{-1e12}, 0, 5},
+		{"above-max", []float64{1e12}, 0, 95},
+		{"neg-inf", []float64{math.Inf(-1)}, 0, 5},
+		{"pos-inf", []float64{math.Inf(1)}, 0, 95},
+		// A value exactly at Max lands in the last bin, not out of range.
+		{"at-max", []float64{100}, 0, 95},
+		{"at-min", []float64{0}, 0, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(0, 100, 10)
+			for _, x := range c.add {
+				h.Add(x)
+			}
+			if got := h.Quantile(c.q); got != c.want {
+				t.Errorf("Quantile(%g) = %g, want %g (counts %v)", c.q, got, c.want, h.Counts)
+			}
+			if h.Total != uint64(len(c.add)) {
+				t.Errorf("total = %d, want %d", h.Total, len(c.add))
+			}
+		})
+	}
+}
+
+// TestHistogramAddNaN: NaN must be dropped deterministically — Go leaves
+// float-to-int conversion of NaN implementation-defined, so recording it
+// would make histograms (and the telemetry reports built on them) differ
+// across platforms.
+func TestHistogramAddNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(math.NaN())
+	if h.Total != 0 {
+		t.Fatalf("NaN was recorded: total %d, counts %v", h.Total, h.Counts)
+	}
+	h.Add(3)
+	h.Add(math.NaN())
+	if h.Total != 1 || h.Counts[1] != 1 {
+		t.Errorf("NaN perturbed the histogram: total %d, counts %v", h.Total, h.Counts)
 	}
 }

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"anton2/internal/topo"
+)
+
+// heatShades maps utilization deciles to ASCII density; index 0 covers
+// exactly zero, the last index >= 0.9.
+const heatShades = " .:-=+*#%@"
+
+func shade(u float64) byte {
+	i := int(u * 10)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(heatShades) {
+		i = len(heatShades) - 1
+	}
+	return heatShades[i]
+}
+
+// RenderHeatmap renders the report's torus channel utilization as a compact
+// text heatmap: one row per torus adapter (direction x slice), one column
+// per node, shaded by lifetime utilization where '@' is >= 90% of effective
+// bandwidth. A mesh/torus summary line follows.
+func RenderHeatmap(r *Report) string {
+	util := make([][]float64, topo.NumChannelAdapters)
+	for i := range util {
+		util[i] = make([]float64, r.NumNodes)
+	}
+	var meshSum, meshMax float64
+	var torusSum, torusMax float64
+	meshN, torusN := 0, 0
+	for _, cs := range r.Channels {
+		if cs.Torus {
+			if cs.Adapter >= 0 && cs.Node < r.NumNodes {
+				util[cs.Adapter][cs.Node] = cs.Utilization
+			}
+			torusSum += cs.Utilization
+			torusN++
+			if cs.Utilization > torusMax {
+				torusMax = cs.Utilization
+			}
+		} else {
+			meshSum += cs.Utilization
+			meshN++
+			if cs.Utilization > meshMax {
+				meshMax = cs.Utilization
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "torus channel utilization over %d cycles (rows: adapter, cols: node 0..%d; '%c'=idle .. '%c'>=90%%)\n",
+		r.Cycles, r.NumNodes-1, heatShades[0], heatShades[len(heatShades)-1])
+	for ai := 0; ai < topo.NumChannelAdapters; ai++ {
+		fmt.Fprintf(&b, "  %-4s ", topo.AdapterByIndex(ai).String())
+		for n := 0; n < r.NumNodes; n++ {
+			b.WriteByte(shade(util[ai][n]))
+		}
+		b.WriteByte('\n')
+	}
+	if torusN > 0 {
+		fmt.Fprintf(&b, "  torus mean %.3f max %.3f", torusSum/float64(torusN), torusMax)
+	}
+	if meshN > 0 {
+		fmt.Fprintf(&b, "  |  mesh mean %.3f max %.3f", meshSum/float64(meshN), meshMax)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"anton2/internal/topo"
+)
+
+func TestUtilizationNormalization(t *testing.T) {
+	// A mesh channel (1000 milli-cycles/flit) moving one flit per cycle is
+	// fully utilized; a torus channel (e.g. 3214 milli-cycles/flit) reaches
+	// 1.0 at one flit per 3.214 cycles.
+	if u := utilization(1000, 1000, 1000); u != 1 {
+		t.Errorf("mesh at line rate: utilization %g, want 1", u)
+	}
+	if u := utilization(1000, 3214, 3214); u != 1 {
+		t.Errorf("torus at line rate: utilization %g, want 1", u)
+	}
+	if u := utilization(500, 1000, 1000); u != 0.5 {
+		t.Errorf("half rate: utilization %g, want 0.5", u)
+	}
+	if u := utilization(123, 1000, 0); u != 0 {
+		t.Errorf("zero-cycle run: utilization %g, want 0", u)
+	}
+}
+
+func TestJainNonzeroIgnoresIdleInputs(t *testing.T) {
+	// Two equally served VCs and two idle ones: fairness over the active
+	// inputs is perfect.
+	if j := jainNonzero([]uint64{5, 0, 5, 0}); j != 1 {
+		t.Errorf("jainNonzero = %g, want 1", j)
+	}
+	if j := jainNonzero(nil); j != 1 {
+		t.Errorf("jainNonzero(nil) = %g, want 1", j)
+	}
+}
+
+func TestShadeBounds(t *testing.T) {
+	cases := []struct {
+		u    float64
+		want byte
+	}{
+		{0, ' '}, {0.05, ' '}, {0.15, '.'}, {0.95, '@'},
+		{1.0, '@'}, {5, '@'}, {-1, ' '},
+	}
+	for _, c := range cases {
+		if got := shade(c.u); got != c.want {
+			t.Errorf("shade(%g) = %q, want %q", c.u, got, c.want)
+		}
+	}
+}
+
+func TestRenderHeatmapLayout(t *testing.T) {
+	r := &Report{
+		Cycles:   100,
+		NumNodes: 2,
+		Channels: []ChannelStat{
+			{ID: 0, Node: 1, Adapter: 0, Torus: true, Utilization: 0.95},
+			{ID: 1, Node: 0, Adapter: -1, Utilization: 0.2},
+		},
+	}
+	out := RenderHeatmap(r)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, one row per adapter, summary.
+	if want := topo.NumChannelAdapters + 2; len(lines) != want {
+		t.Fatalf("heatmap has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	row := lines[1]
+	if !strings.Contains(row, topo.AdapterByIndex(0).String()) {
+		t.Errorf("first row %q missing adapter label %q", row, topo.AdapterByIndex(0).String())
+	}
+	if row[len(row)-1] != '@' || row[len(row)-2] != ' ' {
+		t.Errorf("first row %q: want idle node 0 and saturated node 1", row)
+	}
+	if !strings.Contains(lines[len(lines)-1], "torus mean") || !strings.Contains(lines[len(lines)-1], "mesh mean") {
+		t.Errorf("summary line %q missing torus/mesh summaries", lines[len(lines)-1])
+	}
+}

@@ -75,21 +75,20 @@ type Router struct {
 	Ports []Port
 }
 
-// PortTo returns the index of the port with the given kind matching the
-// predicate arguments; it panics if absent (chip construction guarantees
-// presence for all legal queries).
-func (r *Router) portIndex(match func(*Port) bool, what string) int {
-	for i := range r.Ports {
-		if match(&r.Ports[i]) {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("topo: router %s has no %s port", r.Coord, what))
-}
+// The port lookups below are written as plain loops rather than through a
+// predicate helper: they sit on the per-packet routing path, and a closure
+// plus an eagerly built description string would allocate on every call.
+// Chip construction guarantees presence for all legal queries, so the
+// failure message is only formatted on the panic path.
 
 // MeshPort returns the port index toward the mesh neighbor in direction d.
 func (r *Router) MeshPort(d MeshDir) int {
-	return r.portIndex(func(p *Port) bool { return p.Kind == PortMesh && p.MeshDir == d }, "mesh "+d.String())
+	for i := range r.Ports {
+		if r.Ports[i].Kind == PortMesh && r.Ports[i].MeshDir == d {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("topo: router %s has no mesh %s port", r.Coord, d))
 }
 
 // HasMeshPort reports whether the router has a mesh neighbor in direction d.
@@ -114,12 +113,22 @@ func (r *Router) SkipPort() int {
 
 // AdapterPort returns the port index toward the given channel adapter.
 func (r *Router) AdapterPort(a AdapterID) int {
-	return r.portIndex(func(p *Port) bool { return p.Kind == PortAdapter && p.Adapter == a }, "adapter "+a.String())
+	for i := range r.Ports {
+		if r.Ports[i].Kind == PortAdapter && r.Ports[i].Adapter == a {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("topo: router %s has no adapter %s port", r.Coord, a))
 }
 
 // EndpointPort returns the port index toward endpoint ep.
 func (r *Router) EndpointPort(ep int) int {
-	return r.portIndex(func(p *Port) bool { return p.Kind == PortEndpoint && p.Endpoint == ep }, fmt.Sprintf("endpoint %d", ep))
+	for i := range r.Ports {
+		if r.Ports[i].Kind == PortEndpoint && r.Ports[i].Endpoint == ep {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("topo: router %s has no endpoint %d port", r.Coord, ep))
 }
 
 // Endpoint describes one endpoint adapter's attachment.
