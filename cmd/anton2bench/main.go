@@ -5,11 +5,19 @@
 // Usage:
 //
 //	anton2bench [-quick] [-parallel N] [-json dir] [-check] [-telemetry dir]
-//	            [-cpuprofile file] [-memprofile file]
-//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|all]
+//	            [-fault corrupt=0.01,...] [-cpuprofile file] [-memprofile file]
+//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|all]
 //
 // Simulation figures also answer to topic aliases: throughput (fig9), blend
-// (fig10), latency (fig11), decomposition (fig12), energy (fig13).
+// (fig10), latency (fig11), decomposition (fig12), energy (fig13),
+// robustness (faultsweep).
+//
+// The faultsweep experiment sweeps transient-corruption rate under the
+// internal/fault layer, measuring throughput and delivery-latency quantiles
+// as the reliable-link protocol retransmits around injected faults. -fault
+// supplies a base spec (stall, credit-loss, failed-link settings) held fixed
+// across the sweep; an invalid spec — malformed syntax, a negative, >1, or
+// NaN rate — is rejected with exit status 2 before anything runs.
 //
 // Without -quick, the saturation experiments run on an 8x4x2 machine with
 // batches up to 1024 packets per core (minutes); -quick shrinks them to
@@ -31,13 +39,14 @@
 // like checking, never perturbs results, seeds, or cache keys. -cpuprofile
 // and -memprofile write pprof profiles of the bench process itself.
 //
-// Exit status: 0 on success, 1 if any experiment fails, 2 for an unknown
-// experiment name.
+// Exit status: 0 on success, 1 if any experiment fails, 2 for invalid flags
+// or an unknown experiment name.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -49,6 +58,7 @@ import (
 	"anton2/internal/core"
 	"anton2/internal/deadlock"
 	"anton2/internal/exp"
+	"anton2/internal/fault"
 	"anton2/internal/machine"
 	"anton2/internal/multicast"
 	"anton2/internal/packaging"
@@ -60,15 +70,36 @@ import (
 	"anton2/internal/wctraffic"
 )
 
+// Flag values live at package level so the figure runners can read them; run
+// binds them to a fresh FlagSet per invocation, which keeps the entry point
+// testable.
 var (
-	quick        = flag.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
-	parallel     = flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
-	jsonDir      = flag.String("json", "", "write per-figure JSON artifacts under this directory")
-	checkFlag    = flag.Bool("check", false, "run simulations under the runtime invariant-checking suite")
-	telemetryDir = flag.String("telemetry", "", "write per-point telemetry reports and packet traces under this directory")
-	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench process to this file")
-	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	quick        *bool
+	parallel     *int
+	jsonDir      *string
+	checkFlag    *bool
+	faultFlag    *string
+	telemetryDir *string
+	cpuprofile   *string
+	memprofile   *string
+
+	// baseFault is the parsed -fault spec; the faultsweep experiment holds
+	// it fixed while sweeping corruption rate.
+	baseFault *fault.Spec
 )
+
+func registerFlags(fs *flag.FlagSet) {
+	quick = fs.Bool("quick", false, "smaller machines and batches (seconds instead of minutes)")
+	parallel = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	jsonDir = fs.String("json", "", "write per-figure JSON artifacts under this directory")
+	checkFlag = fs.Bool("check", false, "run simulations under the runtime invariant-checking suite")
+	faultFlag = fs.String("fault", "", "base fault spec for faultsweep, e.g. stall=0.001,faillinks=1")
+	telemetryDir = fs.String("telemetry", "", "write per-point telemetry reports and packet traces under this directory")
+	cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the bench process to this file")
+	memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+}
+
+const usageHint = "usage: anton2bench [-quick] [-parallel N] [-json dir] [-check] [-fault k=v,...] [experiment] (run with -h for the full list)"
 
 // resultCache memoizes simulation points across figures within one
 // invocation, so `all` never re-runs a shared configuration.
@@ -81,7 +112,7 @@ var experiments = []struct {
 }{
 	{"fig4", fig4}, {"deadlock", deadlockCheck}, {"fig2", fig2}, {"fig3", fig3},
 	{"table1", table1}, {"table2", table2}, {"fig12", fig12}, {"fig13", fig13},
-	{"fig11", fig11}, {"fig9", fig9}, {"fig10", fig10},
+	{"fig11", fig11}, {"fig9", fig9}, {"fig10", fig10}, {"faultsweep", faultsweep},
 }
 
 // aliases maps topic names onto figure numbers.
@@ -91,6 +122,7 @@ var aliases = map[string]string{
 	"latency":       "fig11",
 	"decomposition": "fig12",
 	"energy":        "fig13",
+	"robustness":    "faultsweep",
 }
 
 func validNames() []string {
@@ -115,23 +147,46 @@ func benchConfig(shape topo.TorusShape) machine.Config {
 }
 
 func main() {
-	flag.Parse()
-	stopProfiles, err := startProfiles()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anton2bench:", err)
-		os.Exit(1)
-	}
-	code := run()
-	stopProfiles()
-	if code != 0 {
-		os.Exit(code)
-	}
+	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: it parses and validates flags (exit 2 on
+// rejection, with a one-line usage hint), then dispatches the requested
+// experiments.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("anton2bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reject := func(err error) int {
+		fmt.Fprintln(stderr, "anton2bench:", err)
+		fmt.Fprintln(stderr, usageHint)
+		return 2
+	}
+	if *parallel < 0 {
+		return reject(fmt.Errorf("parallel must be >= 0, got %d", *parallel))
+	}
+	baseFault = nil
+	if *faultFlag != "" {
+		spec, err := fault.ParseSpec(*faultFlag)
+		if err != nil {
+			return reject(err)
+		}
+		baseFault = &spec
+	}
+
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintln(stderr, "anton2bench:", err)
+		return 1
+	}
+	defer stopProfiles()
+
 	what := "all"
-	if flag.NArg() > 0 {
-		what = flag.Arg(0)
+	if fs.NArg() > 0 {
+		what = fs.Arg(0)
 	}
 	if fig, ok := aliases[what]; ok {
 		what = fig
@@ -140,13 +195,13 @@ func run() int {
 		failed := 0
 		for _, e := range experiments {
 			if err := e.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "anton2bench: %s failed: %v\n", e.name, err)
+				fmt.Fprintf(stderr, "anton2bench: %s failed: %v\n", e.name, err)
 				failed++
 			}
 			fmt.Println()
 		}
 		if failed > 0 {
-			fmt.Fprintf(os.Stderr, "anton2bench: %d of %d experiments failed\n", failed, len(experiments))
+			fmt.Fprintf(stderr, "anton2bench: %d of %d experiments failed\n", failed, len(experiments))
 			return 1
 		}
 		return 0
@@ -154,13 +209,13 @@ func run() int {
 	for _, e := range experiments {
 		if e.name == what {
 			if err := e.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "anton2bench: %s failed: %v\n", e.name, err)
+				fmt.Fprintf(stderr, "anton2bench: %s failed: %v\n", e.name, err)
 				return 1
 			}
 			return 0
 		}
 	}
-	fmt.Fprintf(os.Stderr, "anton2bench: unknown experiment %q (valid: %s)\n",
+	fmt.Fprintf(stderr, "anton2bench: unknown experiment %q (valid: %s)\n",
 		what, strings.Join(validNames(), ", "))
 	return 2
 }
@@ -604,6 +659,63 @@ func fig10() error {
 			fmt.Printf("  %6.3f", r.Value.(core.BlendResult).Normalized)
 		}
 		fmt.Println()
+	}
+	return sweepErr
+}
+
+// faultsweep is the robustness experiment: throughput and delivery latency
+// versus transient-corruption rate under the reliable-link layer, holding any
+// -fault base spec (stalls, credit loss, failed links) fixed across points.
+func faultsweep() error {
+	header("Robustness: throughput and latency vs transient fault rate",
+		"reliable links mask corruption at retransmission cost; degradation is smooth, not a cliff")
+	rates := []float64{0, 0.0025, 0.005, 0.01, 0.02, 0.05}
+	shape := topo.Shape3(4, 4, 2)
+	batch := 96
+	if *quick {
+		rates = []float64{0, 0.005, 0.01, 0.02, 0.05}
+		shape = topo.Shape3(2, 2, 2)
+		batch = 32
+	}
+	if baseFault != nil {
+		fmt.Printf("base fault spec: %s\n", baseFault.Canonical())
+	}
+
+	tel := telemetryOpts("faultsweep")
+	var jobs []exp.Job
+	for _, r := range rates {
+		mc := benchConfig(shape)
+		mc.Telemetry = tel()
+		spec := fault.Spec{}
+		if baseFault != nil {
+			spec = *baseFault
+		}
+		spec.CorruptRate = r
+		mc.Fault = &spec
+		jobs = append(jobs, core.FaultJob(core.FaultConfig{
+			Machine: mc,
+			Pattern: traffic.Uniform{},
+			Batch:   batch,
+		}))
+	}
+	rs, sweepErr := sweep("faultsweep", jobs)
+	defer printHeatmap()
+
+	fmt.Printf("measured: %-8s %10s %12s %11s %12s %9s\n",
+		"corrupt", "throughput", "mean latency", "p99 latency", "retransmits", "outcome")
+	for i, r := range rs {
+		if r.Err != nil {
+			fmt.Printf("          %-8.4f %10s\n", rates[i], "FAILED")
+			continue
+		}
+		pt := r.Value.(core.FaultPoint)
+		outcome := "ok"
+		if pt.DegradedRun {
+			outcome = "degraded"
+		}
+		fmt.Printf("          %-8.4f %10.3f %12.1f %11.0f %12d %9s\n",
+			rates[i], pt.Throughput, pt.MeanLatency, pt.P99Latency,
+			pt.Counters["retransmits"], outcome)
 	}
 	return sweepErr
 }

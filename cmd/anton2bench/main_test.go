@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInvalidFlagsRejected: malformed invocations exit 2 before any
+// experiment runs, with a one-line usage hint.
+func TestInvalidFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative rate", []string{"-fault", "corrupt=-0.1", "faultsweep"}, "must be in [0,1]"},
+		{"NaN rate", []string{"-fault", "stall=NaN", "faultsweep"}, "must be finite"},
+		{"malformed spec", []string{"-fault", "corrupt:0.1", "faultsweep"}, "malformed spec"},
+		{"unknown spec key", []string{"-fault", "chaos=1", "faultsweep"}, "unknown spec key"},
+		{"negative parallel", []string{"-parallel", "-2", "fig4"}, "parallel must be >= 0"},
+		{"unknown flag", []string{"-frobnicate"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errb bytes.Buffer
+			if code := run(tc.args, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if tc.want != "" && !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, errb.String())
+			}
+			if tc.want != "" && !strings.Contains(errb.String(), "usage:") {
+				t.Errorf("stderr missing usage hint:\n%s", errb.String())
+			}
+		})
+	}
+}
+
+// TestUnknownExperimentExits2 preserves the historical exit-status contract.
+func TestUnknownExperimentExits2(t *testing.T) {
+	var errb bytes.Buffer
+	if code := run([]string{"fig99"}, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "faultsweep") {
+		t.Errorf("valid-name list missing faultsweep:\n%s", errb.String())
+	}
+}
+
+// TestQuickFaultsweepArtifact runs the quick robustness sweep end to end and
+// checks the JSON artifact has at least 5 fault-rate points, all successful.
+func TestQuickFaultsweepArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var errb bytes.Buffer
+	if code := run([]string{"-quick", "-check", "-json", dir, "faultsweep"}, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "faultsweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Results []struct {
+			Spec  string `json:"spec"`
+			Error string `json:"error"`
+			Value struct {
+				CorruptRate float64 `json:"corrupt_rate"`
+				Throughput  float64 `json:"throughput"`
+			} `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	if len(artifact.Results) < 5 {
+		t.Fatalf("artifact has %d points, want >= 5", len(artifact.Results))
+	}
+	for i, r := range artifact.Results {
+		if r.Error != "" {
+			t.Errorf("point %d failed: %s", i, r.Error)
+		}
+		if r.Value.Throughput <= 0 {
+			t.Errorf("point %d has no throughput: %+v", i, r.Value)
+		}
+		if !strings.Contains(r.Spec, "fault=") {
+			t.Errorf("point %d spec missing fault key: %s", i, r.Spec)
+		}
+	}
+}

@@ -6,11 +6,20 @@
 //
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
 //	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir] [-check]
-//	          [-telemetry dir] [-cpuprofile file] [-memprofile file]
+//	          [-fault corrupt=0.01,stall=0.001,...] [-telemetry dir]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // With -check, the run executes under the internal/check invariant suite
 // (flit conservation, credit accounting, VC monotonicity, dimension order);
 // any violation fails the run. Checking never perturbs results or seeds.
+//
+// With -fault, the run executes under the internal/fault layer: the spec is a
+// comma-joined key=value list (keys: corrupt, stall, creditloss [rates in
+// 0..1], stallcycles, timeout, resync [cycles], faillinks, window, retry
+// [counts]) selecting deterministic fault injection with go-back-N
+// reliable-link retransmission. An invalid spec — malformed syntax, a
+// negative, >1, or NaN rate — is rejected before any simulation starts, with
+// exit status 2.
 //
 // With -telemetry, the run executes under the internal/telemetry collector:
 // a JSON report (<dir>/anton2sim.json) with windowed channel utilization,
@@ -23,11 +32,14 @@
 // derived from a canonical hash of the full configuration (the -seed value
 // is one input to that hash), and -json writes the structured result
 // artifact under the given directory.
+//
+// Exit status: 0 on success, 1 if the simulation fails, 2 for invalid flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -35,6 +47,7 @@ import (
 	"anton2/internal/arbiter"
 	"anton2/internal/core"
 	"anton2/internal/exp"
+	"anton2/internal/fault"
 	"anton2/internal/machine"
 	"anton2/internal/route"
 	"anton2/internal/telemetry"
@@ -42,37 +55,51 @@ import (
 	"anton2/internal/traffic"
 )
 
-var (
-	shapeFlag    = flag.String("shape", "8x4x2", "torus shape KxKxK")
-	patternFlag  = flag.String("pattern", "uniform", "traffic pattern")
-	arbFlag      = flag.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
-	batch        = flag.Int("batch", 256, "packets per core")
-	schemeFlag   = flag.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
-	seed         = flag.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
-	jsonDir      = flag.String("json", "", "write a JSON result artifact under this directory")
-	checkFlag    = flag.Bool("check", false, "run under the runtime invariant-checking suite")
-	telemetryDir = flag.String("telemetry", "", "write a telemetry report and packet trace under this directory")
-	cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-)
+const usageHint = "usage: anton2sim [-shape KxKxK] [-pattern name] [-arbiter rr|iw] [-batch N] [-scheme anton|baseline] [-fault k=v,...] (run with -h for the full list)"
 
 func main() {
-	flag.Parse()
-	stopProfiles, err := startProfiles()
-	fail(err)
-	err = run()
-	stopProfiles()
-	fail(err)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
+// run is the testable entry point: it parses and validates flags (exit 2 on
+// rejection, with a one-line usage hint), then executes the simulation
+// (exit 1 on failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("anton2sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		shapeFlag    = fs.String("shape", "8x4x2", "torus shape KxKxK")
+		patternFlag  = fs.String("pattern", "uniform", "traffic pattern")
+		arbFlag      = fs.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
+		batch        = fs.Int("batch", 256, "packets per core")
+		schemeFlag   = fs.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
+		seed         = fs.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
+		jsonDir      = fs.String("json", "", "write a JSON result artifact under this directory")
+		checkFlag    = fs.Bool("check", false, "run under the runtime invariant-checking suite")
+		faultFlag    = fs.String("fault", "", "fault-injection spec, e.g. corrupt=0.01,stall=0.001,faillinks=1")
+		telemetryDir = fs.String("telemetry", "", "write a telemetry report and packet trace under this directory")
+		cpuprofile   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reject := func(err error) int {
+		fmt.Fprintln(stderr, "anton2sim:", err)
+		fmt.Fprintln(stderr, usageHint)
+		return 2
+	}
+
 	shape, err := parseShape(*shapeFlag)
 	if err != nil {
-		return err
+		return reject(err)
 	}
 	pattern, err := parsePattern(*patternFlag)
 	if err != nil {
-		return err
+		return reject(err)
+	}
+	if *batch <= 0 {
+		return reject(fmt.Errorf("batch must be positive, got %d", *batch))
 	}
 
 	mc := machine.DefaultConfig(shape)
@@ -84,7 +111,7 @@ func run() error {
 	case "baseline":
 		mc.Scheme = route.BaselineScheme{}
 	default:
-		return fmt.Errorf("unknown scheme %q", *schemeFlag)
+		return reject(fmt.Errorf("unknown scheme %q", *schemeFlag))
 	}
 	switch *arbFlag {
 	case "rr":
@@ -92,7 +119,14 @@ func run() error {
 	case "iw":
 		mc.Arbiter = arbiter.KindInverseWeighted
 	default:
-		return fmt.Errorf("unknown arbiter %q", *arbFlag)
+		return reject(fmt.Errorf("unknown arbiter %q", *arbFlag))
+	}
+	if *faultFlag != "" {
+		spec, err := fault.ParseSpec(*faultFlag)
+		if err != nil {
+			return reject(err)
+		}
+		mc.Fault = &spec
 	}
 	var telReport *telemetry.Report
 	if *telemetryDir != "" {
@@ -104,48 +138,86 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("simulating %v, %d cores/node, pattern %s, %s arbiters, %s VC scheme, batch %d\n",
-		shape, topo.NumRouters, pattern.Name(), mc.Arbiter, mc.Scheme.Name(), *batch)
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "anton2sim:", err)
+		return 1
+	}
+	err = simulate(mc, pattern, *batch, *jsonDir, stdout, stderr, &telReport)
+	stopProfiles()
+	if err != nil {
+		fmt.Fprintln(stderr, "anton2sim:", err)
+		return 1
+	}
+	return 0
+}
 
-	job := core.ThroughputJob(core.ThroughputConfig{
-		Machine:        mc,
-		Pattern:        pattern,
-		WeightPatterns: []traffic.Pattern{pattern},
-		Batch:          *batch,
-	})
+func simulate(mc machine.Config, pattern traffic.Pattern, batch int, jsonDir string, stdout, stderr io.Writer, telReport **telemetry.Report) error {
+	shape := mc.Shape
+	fmt.Fprintf(stdout, "simulating %v, %d cores/node, pattern %s, %s arbiters, %s VC scheme, batch %d\n",
+		shape, topo.NumRouters, pattern.Name(), mc.Arbiter, mc.Scheme.Name(), batch)
+	if mc.Fault != nil {
+		fmt.Fprintf(stdout, "fault layer: %s\n", mc.Fault.Canonical())
+	}
+
+	var job exp.Job
+	if mc.Fault != nil {
+		job = core.FaultJob(core.FaultConfig{Machine: mc, Pattern: pattern, Batch: batch})
+	} else {
+		job = core.ThroughputJob(core.ThroughputConfig{
+			Machine:        mc,
+			Pattern:        pattern,
+			WeightPatterns: []traffic.Pattern{pattern},
+			Batch:          batch,
+		})
+	}
 	rs := exp.Run([]exp.Job{job}, exp.Serial())
-	if *jsonDir != "" {
-		path, err := exp.WriteArtifacts(*jsonDir, "anton2sim", rs)
+	if jsonDir != "" {
+		path, err := exp.WriteArtifacts(jsonDir, "anton2sim", rs)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, "anton2sim: wrote", path)
+		fmt.Fprintln(stderr, "anton2sim: wrote", path)
 	}
 	if err := exp.FirstErr(rs); err != nil {
 		return err
 	}
-	res := rs[0].Value.(core.ThroughputResult)
 
-	packets := uint64(shape.NumNodes()) * uint64(topo.NumRouters) * uint64(*batch)
-	fmt.Printf("\n  packets delivered:      %d\n", packets)
-	fmt.Printf("  completion time:        %d cycles (%.2f us)\n", res.Cycles, machine.CyclesToNS(float64(res.Cycles))/1000)
-	fmt.Printf("  normalized throughput:  %.3f (1.0 = busiest torus channel saturated)\n", res.Normalized)
-	fmt.Printf("  torus utilization:      mean %.1f%%, max %.1f%%\n", 100*res.MeanUtilization, 100*res.MaxUtilization)
-	fmt.Printf("  completion fairness:    %.4f (Jain index over per-core finish times)\n", res.Fairness)
-	if telReport != nil {
-		fmt.Println()
-		fmt.Print(telemetry.RenderHeatmap(telReport))
+	packets := uint64(shape.NumNodes()) * uint64(topo.NumRouters) * uint64(batch)
+	fmt.Fprintf(stdout, "\n  packets delivered:      %d\n", packets)
+	switch res := rs[0].Value.(type) {
+	case core.ThroughputResult:
+		fmt.Fprintf(stdout, "  completion time:        %d cycles (%.2f us)\n", res.Cycles, machine.CyclesToNS(float64(res.Cycles))/1000)
+		fmt.Fprintf(stdout, "  normalized throughput:  %.3f (1.0 = busiest torus channel saturated)\n", res.Normalized)
+		fmt.Fprintf(stdout, "  torus utilization:      mean %.1f%%, max %.1f%%\n", 100*res.MeanUtilization, 100*res.MaxUtilization)
+		fmt.Fprintf(stdout, "  completion fairness:    %.4f (Jain index over per-core finish times)\n", res.Fairness)
+	case core.FaultPoint:
+		fmt.Fprintf(stdout, "  completion time:        %d cycles (%.2f us)\n", res.Cycles, machine.CyclesToNS(float64(res.Cycles))/1000)
+		fmt.Fprintf(stdout, "  normalized throughput:  %.3f (1.0 = fault-free saturation)\n", res.Throughput)
+		fmt.Fprintf(stdout, "  delivery latency:       mean %.1f cycles, p99 %.0f cycles\n", res.MeanLatency, res.P99Latency)
+		if res.DegradedRun {
+			fmt.Fprintf(stdout, "  outcome:                DEGRADED (completed by rerouting around failed links)\n")
+		}
+		for _, k := range []string{"corrupt_injected", "corrupt_detected", "retransmits", "timeouts", "stalls_injected", "credits_dropped", "links_failed", "rerouted"} {
+			if v := res.Counters[k]; v > 0 {
+				fmt.Fprintf(stdout, "  %-22s  %d\n", k+":", v)
+			}
+		}
+	}
+	if *telReport != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, telemetry.RenderHeatmap(*telReport))
 	}
 	return nil
 }
 
-// startProfiles begins the -cpuprofile capture and returns a stop function
-// that finishes it and writes the -memprofile snapshot; run it before the
+// startProfiles begins the cpuprofile capture and returns a stop function
+// that finishes it and writes the memprofile snapshot; run it before the
 // process exits or the profiles are truncated.
-func startProfiles() (func(), error) {
+func startProfiles(cpuprofile, memprofile string, stderr io.Writer) (func(), error) {
 	var stops []func()
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -158,17 +230,17 @@ func startProfiles() (func(), error) {
 			f.Close()
 		})
 	}
-	if *memprofile != "" {
+	if memprofile != "" {
 		stops = append(stops, func() {
-			f, err := os.Create(*memprofile)
+			f, err := os.Create(memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "anton2sim: memprofile:", err)
+				fmt.Fprintln(stderr, "anton2sim: memprofile:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "anton2sim: memprofile:", err)
+				fmt.Fprintln(stderr, "anton2sim: memprofile:", err)
 			}
 		})
 	}
@@ -206,11 +278,4 @@ func parseShape(s string) (topo.TorusShape, error) {
 	}
 	shape := topo.Shape3(kx, ky, kz)
 	return shape, shape.Validate()
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anton2sim:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestInvalidFlagsRejected covers the flag-validation contract: every
+// malformed invocation exits 2 before any simulation starts, and prints a
+// one-line usage hint alongside the specific complaint.
+func TestInvalidFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error line
+	}{
+		{"negative corrupt rate", []string{"-fault", "corrupt=-0.5"}, "must be in [0,1]"},
+		{"rate above one", []string{"-fault", "stall=1.5"}, "must be in [0,1]"},
+		{"NaN rate", []string{"-fault", "corrupt=NaN"}, "must be finite"},
+		{"malformed spec element", []string{"-fault", "corrupt"}, "malformed spec"},
+		{"unknown spec key", []string{"-fault", "warp=0.5"}, "unknown spec key"},
+		{"negative faillinks", []string{"-fault", "faillinks=-1"}, "faillinks"},
+		{"negative batch", []string{"-batch", "-4"}, "batch must be positive"},
+		{"bad shape", []string{"-shape", "2x2"}, "bad shape"},
+		{"unknown pattern", []string{"-pattern", "sideways"}, "unknown pattern"},
+		{"unknown arbiter", []string{"-arbiter", "fifo"}, "unknown arbiter"},
+		{"unknown scheme", []string{"-scheme", "extra"}, "unknown scheme"},
+		{"unknown flag", []string{"-frobnicate"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if tc.want != "" && !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, errb.String())
+			}
+			if tc.want != "" && !strings.Contains(errb.String(), "usage:") {
+				t.Errorf("stderr missing usage hint:\n%s", errb.String())
+			}
+		})
+	}
+}
+
+// TestRunFaultFree exercises the full fault-free path on a tiny machine.
+func TestRunFaultFree(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-shape", "2x2x2", "-batch", "4", "-check"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "normalized throughput") {
+		t.Errorf("missing throughput summary:\n%s", out.String())
+	}
+}
+
+// TestRunWithFaultSpec exercises the fault path end to end: the run completes
+// under corruption, reports the reliability counters, and exits 0.
+func TestRunWithFaultSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-shape", "2x2x2", "-batch", "4", "-check",
+		"-fault", "corrupt=0.02"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"fault layer:", "corrupt_injected", "retransmits"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/exp"
+	"anton2/internal/fault"
+	"anton2/internal/machine"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/stats"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// FaultConfig describes one faultsweep point: a fixed-batch uniform-style
+// measurement run under a fault specification, reporting throughput and
+// delivery-latency quantiles so degradation can be plotted against fault
+// rate.
+type FaultConfig struct {
+	Machine machine.Config
+	// Pattern generates the measured traffic.
+	Pattern traffic.Pattern
+	// Batch is the number of packets each core sends.
+	Batch int
+	// MaxCycles bounds the run (0 = a generous default, scaled up for
+	// retransmission overhead).
+	MaxCycles uint64
+}
+
+// FaultPoint is one measured faultsweep point.
+type FaultPoint struct {
+	// Spec echoes the fault spec's canonical form ("" = fault-free).
+	Spec string `json:"spec"`
+	// CorruptRate is the headline sweep axis.
+	CorruptRate float64 `json:"corrupt_rate"`
+	Batch       int     `json:"batch"`
+	Cycles      uint64  `json:"cycles"`
+	// Throughput is the measured per-core rate normalized by the
+	// fault-free analytic saturation rate, so points across the sweep
+	// share one scale.
+	Throughput float64 `json:"throughput"`
+	// MeanLatency and P99Latency are injection-to-delivery latencies in
+	// cycles over every delivered packet.
+	MeanLatency float64 `json:"mean_latency"`
+	P99Latency  float64 `json:"p99_latency"`
+	// DegradedRun marks a run that survived permanent faults by
+	// rerouting (graceful degradation).
+	DegradedRun bool `json:"degraded_run,omitempty"`
+	// Counters snapshots the fault and reliability protocol events.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// SimCycles lets exp record simulated cycle counts in artifacts.
+func (p FaultPoint) SimCycles() uint64 { return p.Cycles }
+
+// Degraded implements exp.Degrader for result classification.
+func (p FaultPoint) Degraded() bool { return p.DegradedRun }
+
+// RunFaultPoint executes one faultsweep measurement.
+func RunFaultPoint(cfg FaultConfig) (FaultPoint, error) {
+	m, _, err := BuildMachine(cfg.Machine)
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	measured, err := PatternLoads(cfg.Machine, cfg.Pattern)
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	satRate := measured.SaturationRate()
+	if satRate <= 0 {
+		return FaultPoint{}, fmt.Errorf("core: pattern %s places no torus load", cfg.Pattern.Name())
+	}
+
+	tm := m.Topo
+	cores := tm.Chip.CoreEndpoints()
+	total := uint64(tm.NumNodes() * len(cores) * cfg.Batch)
+
+	for n := 0; n < tm.NumNodes(); n++ {
+		for _, ep := range cores {
+			src := topo.NodeEp{Node: n, Ep: ep}
+			rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("fault-src-%d-%d", n, ep))
+			sent := 0
+			m.Endpoint(src).Source = func() *packet.Packet {
+				if sent >= cfg.Batch {
+					return nil
+				}
+				sent++
+				dst := cfg.Pattern.Dest(tm, src, rng)
+				return m.MakeRandomPacket(src, dst, route.ClassRequest, 0, rng)
+			}
+		}
+	}
+	lats := make([]float64, 0, total)
+	onDeliver := func(p *packet.Packet, now uint64) bool {
+		lats = append(lats, float64(now-p.InjectedAt))
+		return false
+	}
+	for n := 0; n < tm.NumNodes(); n++ {
+		for ep := 0; ep < topo.NumEndpoints; ep++ {
+			m.Endpoint(topo.NodeEp{Node: n, Ep: ep}).OnDeliver = onDeliver
+		}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		// The throughput default, doubled: retransmission and stall
+		// overhead stretches completion well past the lossless ideal.
+		ideal := float64(cfg.Batch) / satRate
+		maxCycles = uint64(100 * ideal)
+		if maxCycles < 400_000 {
+			maxCycles = 400_000
+		}
+	}
+	pt := FaultPoint{Batch: cfg.Batch}
+	if cfg.Machine.Fault != nil {
+		pt.Spec = cfg.Machine.Fault.Canonical()
+		pt.CorruptRate = cfg.Machine.Fault.CorruptRate
+	}
+	end, err := m.RunUntilDelivered(total, maxCycles)
+	if err != nil {
+		return pt, fmt.Errorf("core: fault run (%s): %w", pt.Spec, err)
+	}
+	if err := m.FinishChecks(); err != nil {
+		return pt, fmt.Errorf("core: fault run (%s): %w", pt.Spec, err)
+	}
+
+	pt.Cycles = end
+	pt.Throughput = float64(cfg.Batch) / float64(end) / satRate
+	pt.MeanLatency = stats.Mean(lats)
+	pt.P99Latency = stats.Percentile(lats, 99)
+	if st := m.FaultStatus(); st != nil {
+		pt.DegradedRun = st.Degraded
+		pt.Counters = st.Counters.Map()
+	}
+	return pt, nil
+}
+
+// FaultSpec canonically identifies one faultsweep point. The fault spec
+// itself enters the key through addMachine.
+func FaultSpec(cfg FaultConfig) *exp.Spec {
+	s := exp.NewSpec("faultsweep")
+	addMachine(s, cfg.Machine)
+	return s.Add("pattern", cfg.Pattern.Name()).
+		Add("batch", cfg.Batch).
+		Add("maxcycles", cfg.MaxCycles)
+}
+
+// FaultJob wraps one RunFaultPoint call for the orchestrator.
+func FaultJob(cfg FaultConfig) exp.Job {
+	return exp.Job{Spec: FaultSpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunFaultPoint(c)
+	}}
+}
+
+// FaultSweepOpts sweeps corruption rate over the given points (plus any
+// fixed stall/credit-loss/outage settings in base), through the
+// orchestrator. A nil base sweeps corruption alone.
+func FaultSweepOpts(cfg FaultConfig, base *fault.Spec, rates []float64, opts exp.Options) ([]FaultPoint, error) {
+	jobs := make([]exp.Job, len(rates))
+	for i, r := range rates {
+		c := cfg
+		spec := fault.Spec{}
+		if base != nil {
+			spec = *base
+		}
+		spec.CorruptRate = r
+		c.Machine.Fault = &spec
+		jobs[i] = FaultJob(c)
+	}
+	return collect[FaultPoint](exp.Run(jobs, opts))
+}

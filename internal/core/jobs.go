@@ -55,6 +55,13 @@ func addMachine(s *exp.Spec, cfg machine.Config) *exp.Spec {
 		Add("energy", cfg.TrackEnergy).
 		Add("mcast", cfg.Multicast != nil).
 		Add("seed", cfg.Seed)
+	// The fault spec changes results, so it must key the cache — but only
+	// when present: fault-free configurations keep their pre-fault-layer
+	// canonical strings, so existing caches and bit-identity guarantees
+	// survive.
+	if cfg.Fault != nil {
+		s.Add("fault", cfg.Fault.Canonical())
+	}
 	return s
 }
 

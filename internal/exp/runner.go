@@ -34,6 +34,14 @@ type Options struct {
 	// (error or panic). Deterministic failures fail every attempt; the
 	// bound keeps them from stalling the sweep.
 	Retries int
+	// AttemptTimeout, when positive, bounds each attempt's wall-clock
+	// time; an attempt past the deadline counts as a failed (degraded)
+	// attempt and the retry policy applies. The runaway attempt's
+	// goroutine is abandoned, so results already recorded stay valid.
+	AttemptTimeout time.Duration
+	// Backoff is the wait before the first retry, doubling on each
+	// further retry (zero = retry immediately).
+	Backoff time.Duration
 	// Cache, when non-nil, memoizes results by spec canonical string so
 	// repeated sweeps (or duplicate points within one) skip the work.
 	Cache *Cache
@@ -63,6 +71,10 @@ type Result struct {
 	Err      error  `json:"-"`
 	Error    string `json:"error,omitempty"`
 	Deadlock bool   `json:"deadlock,omitempty"`
+	// Degraded marks a graceful-degradation outcome: the value or the
+	// error reported Degraded() true (permanent link faults survived by
+	// rerouting, a retry budget exhausted, or an attempt deadline hit).
+	Degraded bool `json:"degraded,omitempty"`
 	// Cycles is the simulated cycle count when the value reports one.
 	Cycles   uint64  `json:"cycles,omitempty"`
 	Cached   bool    `json:"cached,omitempty"`
@@ -96,10 +108,14 @@ func Run(jobs []Job, opts Options) []Result {
 		switch {
 		case r.Deadlock:
 			status = "DEADLOCK"
+		case r.Err != nil && r.Degraded:
+			status = "DEGRADED"
 		case r.Err != nil:
 			status = "FAILED"
 		case r.Cached:
 			status = "cached"
+		case r.Degraded:
+			status = "degraded"
 		}
 		name := opts.Name
 		if name == "" {
@@ -150,11 +166,36 @@ func runOne(i int, j Job, opts Options) Result {
 		}()
 		return j.Run(r.Seed)
 	}
+	if opts.AttemptTimeout > 0 {
+		inner := attempt
+		attempt = func() (any, error) {
+			type outcome struct {
+				val any
+				err error
+			}
+			ch := make(chan outcome, 1)
+			go func() {
+				v, e := inner()
+				ch <- outcome{val: v, err: e}
+			}()
+			timer := time.NewTimer(opts.AttemptTimeout)
+			defer timer.Stop()
+			select {
+			case o := <-ch:
+				return o.val, o.err
+			case <-timer.C:
+				return nil, &ErrAttemptTimeout{Kind: r.Kind, Limit: opts.AttemptTimeout}
+			}
+		}
+	}
 	attempts := 0
 	tryAll := func() (any, error) {
 		var val any
 		var err error
 		for a := 0; a <= opts.Retries; a++ {
+			if a > 0 && opts.Backoff > 0 {
+				time.Sleep(opts.Backoff << (a - 1))
+			}
 			attempts++
 			if val, err = attempt(); err == nil {
 				return val, nil
@@ -176,14 +217,37 @@ func runOne(i int, j Job, opts Options) Result {
 		r.Error = err.Error()
 		var dl *sim.ErrDeadlock
 		r.Deadlock = errors.As(err, &dl)
+		var dg Degrader
+		r.Degraded = errors.As(err, &dg) && dg.Degraded()
 		return r
 	}
 	r.Value = val
 	if c, ok := val.(Cycler); ok {
 		r.Cycles = c.SimCycles()
 	}
+	if dg, ok := val.(Degrader); ok && dg.Degraded() {
+		r.Degraded = true
+	}
 	return r
 }
+
+// Degrader is implemented by values and errors that classify their outcome
+// as graceful degradation rather than clean success or hard failure.
+type Degrader interface{ Degraded() bool }
+
+// ErrAttemptTimeout reports an attempt that exceeded Options.AttemptTimeout.
+type ErrAttemptTimeout struct {
+	Kind  string
+	Limit time.Duration
+}
+
+func (e *ErrAttemptTimeout) Error() string {
+	return fmt.Sprintf("exp: %s attempt exceeded %v deadline", e.Kind, e.Limit)
+}
+
+// Degraded marks the timeout as a degradation outcome (the run was bounded,
+// not broken).
+func (e *ErrAttemptTimeout) Degraded() bool { return true }
 
 // FirstErr returns the first failed result's error annotated with its spec,
 // or nil when every point succeeded.

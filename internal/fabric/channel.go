@@ -58,6 +58,22 @@ type Channel struct {
 	busyUntilMilli uint64 // serializer occupancy, in millicycles
 	lastIdleFrom   uint64 // cycle from which the channel has been idle
 
+	// stallUntil: the channel accepts no new frames while now < stallUntil.
+	// Zero (never stalled) is the common case; the fault layer sets it for
+	// transient stalls and permanent outages.
+	stallUntil uint64
+
+	// DropCredit, when non-nil, is consulted on every credit return; a true
+	// result drops the message, accumulating into lost. Installed only by
+	// the fault layer (EnableCreditLoss).
+	DropCredit func(vc, flits uint8) bool
+	lost       []int // credits dropped and not yet restored, per VC
+
+	// CensusExempt marks a channel whose in-flight packets are accounted
+	// for by a reliable-link retransmission window instead of the pipe
+	// census (the pipe may hold duplicates of one logical packet).
+	CensusExempt bool
+
 	// Energy is non-nil when energy tracking is enabled.
 	Energy      *EnergyCounters
 	prevPayload []byte
@@ -147,18 +163,30 @@ func (ch *Channel) Credits(vc uint8) int { return ch.credit[vc] }
 // exactly) and the downstream VC must have credit for every flit (virtual
 // cut-through).
 func (ch *Channel) CanSend(now uint64, vc uint8, flits uint8) bool {
-	return ch.credit[vc] >= int(flits) && ch.busyUntilMilli < (now+1)*1000
+	return ch.credit[vc] >= int(flits) && ch.busyUntilMilli < (now+1)*1000 && ch.stallUntil <= now
 }
 
-// Send forwards a packet on vc. The packet arrives downstream when its last
-// flit clears the serializer plus the channel latency. The caller must have
-// checked CanSend.
-func (ch *Channel) Send(now uint64, p *packet.Packet, vc uint8) {
+// Send forwards a packet on vc and returns the arrival cycle. The packet
+// arrives downstream when its last flit clears the serializer plus the
+// channel latency. The caller must have checked CanSend.
+func (ch *Channel) Send(now uint64, p *packet.Packet, vc uint8) uint64 {
+	p.CurVC = vc
+	return ch.transmit(now, p, vc)
+}
+
+// Resend retransmits a packet on vc without touching the packet's mutable
+// routing state: the original copy may already have been accepted downstream
+// and moved on, so a retransmission must treat the packet as read-only. Only
+// the reliable-link layer calls this.
+func (ch *Channel) Resend(now uint64, p *packet.Packet, vc uint8) uint64 {
+	return ch.transmit(now, p, vc)
+}
+
+func (ch *Channel) transmit(now uint64, p *packet.Packet, vc uint8) uint64 {
 	if !ch.CanSend(now, vc, p.Size) {
 		panic("fabric: Send without CanSend on " + ch.Name)
 	}
 	ch.credit[vc] -= int(p.Size)
-	p.CurVC = vc
 	ch.Sent += uint64(p.Size)
 	ch.Pkts++
 
@@ -179,6 +207,7 @@ func (ch *Channel) Send(now uint64, p *packet.Packet, vc uint8) {
 		arrive = now + 1
 	}
 	ch.pkts.SendAt(arrive, p)
+	return arrive
 }
 
 func (ch *Channel) countEnergy(now uint64, p *packet.Packet) {
@@ -205,8 +234,50 @@ func (ch *Channel) Recv(now uint64) (*packet.Packet, bool) {
 
 // ReturnCredit informs the sender that flits of buffer space freed on vc.
 func (ch *Channel) ReturnCredit(now uint64, vc uint8, flits uint8) {
+	if ch.DropCredit != nil && ch.DropCredit(vc, flits) {
+		ch.lost[vc] += int(flits)
+		return
+	}
 	ch.credits.Send(now, creditMsg{vc: vc, flits: flits})
 }
+
+// EnableCreditLoss installs a credit-drop predicate and allocates the
+// lost-credit ledger the resync audit restores from.
+func (ch *Channel) EnableCreditLoss(drop func(vc, flits uint8) bool) {
+	ch.lost = make([]int, len(ch.credit))
+	ch.DropCredit = drop
+}
+
+// LostCredits returns the total credits currently dropped and unrestored.
+func (ch *Channel) LostCredits() int {
+	total := 0
+	for _, n := range ch.lost {
+		total += n
+	}
+	return total
+}
+
+// RestoreLostCredits models a credit resync audit: every lost credit is
+// re-added to the sender-side counters. Returns the number restored.
+func (ch *Channel) RestoreLostCredits() int {
+	total := 0
+	for vc, n := range ch.lost {
+		if n > 0 {
+			ch.credit[vc] += n
+			total += n
+			ch.lost[vc] = 0
+		}
+	}
+	return total
+}
+
+// SetStall blocks new sends on the channel until the given cycle. The fault
+// layer uses it for transient stalls (finite until) and permanent outages
+// (math.MaxUint64).
+func (ch *Channel) SetStall(until uint64) { ch.stallUntil = until }
+
+// Stalled reports whether the channel is refusing new frames at cycle now.
+func (ch *Channel) Stalled(now uint64) bool { return ch.stallUntil > now }
 
 // Quiet reports whether the channel holds no in-flight packets or credits.
 func (ch *Channel) Quiet() bool { return ch.pkts.Empty() && ch.credits.Empty() }

@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wireFrame is one frame (or control message) in flight in the test driver.
+type wireFrame struct {
+	at      uint64
+	seq     uint64
+	corrupt bool
+	nack    bool
+}
+
+// driveLink simulates one reliable link end to end: a sender and receiver
+// joined by two latency-L FIFO wires, with per-transmission corruption drawn
+// from corrupt(). It asserts the protocol invariants every cycle and returns
+// the number of frames delivered and whether the link died.
+func driveLink(t testing.TB, window int, timeout uint64, retry int, latency uint64, frames int, corrupt func() bool, maxCycles uint64) (int, bool) {
+	t.Helper()
+	snd := NewSender(window, timeout, retry)
+	var rcv Receiver
+	var wire, ctrl []wireFrame
+	accepted := 0
+	sent := 0
+
+	for now := uint64(0); now < maxCycles; now++ {
+		// Sender: absorb control messages, run the timeout, transmit.
+		for len(ctrl) > 0 && ctrl[0].at <= now {
+			c := ctrl[0]
+			ctrl = ctrl[1:]
+			if c.nack {
+				snd.OnNack(c.seq, now)
+			} else {
+				snd.OnAck(c.seq, now)
+			}
+		}
+		snd.Tick(now)
+		if snd.Dead() {
+			return accepted, true
+		}
+		if seq, ok := snd.NeedRetx(); ok {
+			if got := snd.OnRetx(); got != seq {
+				t.Fatalf("OnRetx returned %d, NeedRetx said %d", got, seq)
+			}
+			wire = append(wire, wireFrame{at: now + latency, seq: seq, corrupt: corrupt()})
+		} else if snd.CanSend() && sent < frames {
+			seq := snd.OnSend(now)
+			if seq != uint64(sent) {
+				t.Fatalf("fresh send got seq %d, want %d", seq, sent)
+			}
+			sent++
+			wire = append(wire, wireFrame{at: now + latency, seq: seq, corrupt: corrupt()})
+		}
+		if snd.Outstanding() > window {
+			t.Fatalf("cycle %d: %d frames outstanding, window %d", now, snd.Outstanding(), window)
+		}
+
+		// Receiver: process arrivals in FIFO order.
+		for len(wire) > 0 && wire[0].at <= now {
+			f := wire[0]
+			wire = wire[1:]
+			v := rcv.OnFrame(f.seq, f.corrupt)
+			if v.Accept {
+				if f.corrupt {
+					t.Fatalf("cycle %d: accepted a corrupted frame", now)
+				}
+				if f.seq != uint64(accepted) {
+					t.Fatalf("cycle %d: accepted seq %d, want %d (in-order exactly-once)", now, f.seq, accepted)
+				}
+				accepted++
+			}
+			if v.Ack {
+				ctrl = append(ctrl, wireFrame{at: now + latency, seq: v.Seq})
+			}
+			if v.Nack {
+				ctrl = append(ctrl, wireFrame{at: now + latency, seq: v.Seq, nack: true})
+			}
+		}
+
+		if accepted == frames && snd.Quiet() && len(wire) == 0 && len(ctrl) == 0 {
+			return accepted, false
+		}
+	}
+	t.Fatalf("link did not drain: %d/%d accepted after %d cycles (outstanding %d)",
+		accepted, frames, maxCycles, snd.Outstanding())
+	return accepted, false
+}
+
+// TestGoBackNProperty: across windows, latencies, and corruption rates,
+// every frame is delivered exactly once and in order, and the link drains.
+func TestGoBackNProperty(t *testing.T) {
+	for _, window := range []int{1, 2, 8, 64} {
+		for _, latency := range []uint64{1, 3, 45} {
+			for _, rate := range []float64{0, 0.1, 0.3} {
+				rng := rand.New(rand.NewSource(int64(window)*1000 + int64(latency)*10 + int64(rate*10)))
+				timeout := 4*latency + 16
+				frames := 200
+				got, dead := driveLink(t, window, timeout, 1_000_000, latency, frames,
+					func() bool { return rng.Float64() < rate }, 1<<20)
+				if dead {
+					t.Fatalf("window=%d latency=%d rate=%v: link died", window, latency, rate)
+				}
+				if got != frames {
+					t.Fatalf("window=%d latency=%d rate=%v: delivered %d/%d", window, latency, rate, got, frames)
+				}
+			}
+		}
+	}
+}
+
+// TestGoBackNBudget: a link whose every frame is corrupted exhausts its
+// rewind budget and reports dead instead of spinning forever.
+func TestGoBackNBudget(t *testing.T) {
+	delivered, dead := driveLink(t, 8, 32, 4, 3, 10, func() bool { return true }, 1<<20)
+	if !dead {
+		t.Fatal("always-corrupt link did not die")
+	}
+	if delivered != 0 {
+		t.Fatalf("always-corrupt link delivered %d frames", delivered)
+	}
+}
+
+// TestGoBackNFatalRate: even at a 90% corruption rate the protocol makes
+// progress given a large enough budget (liveness under extreme loss).
+func TestGoBackNFatalRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	got, dead := driveLink(t, 4, 24, 1_000_000, 2, 50, func() bool { return rng.Float64() < 0.9 }, 1<<22)
+	if dead || got != 50 {
+		t.Fatalf("delivered %d/50, dead=%v", got, dead)
+	}
+}
+
+// FuzzGoBackN drives the retransmission state machines with fuzz-chosen
+// window, latency, frame count, and per-transmission corruption bits. Once
+// the corruption budget is exhausted transmissions succeed, so the link must
+// always drain with every frame delivered exactly once.
+func FuzzGoBackN(f *testing.F) {
+	f.Add([]byte{1, 1, 10, 0})
+	f.Add([]byte{8, 3, 64, 5, 0xff, 0xff, 0x0f})
+	f.Add([]byte{2, 7, 32, 31, 0xaa, 0x55, 0xaa, 0x55})
+	f.Add([]byte{64, 2, 63, 1, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		window := 1 + int(data[0]%64)
+		latency := 1 + uint64(data[1]%8)
+		frames := 1 + int(data[2]%64)
+		timeout := 4*latency + 8 + uint64(data[3]%32)
+		bits := data[4:]
+		// The rewind budget exceeds the total corruption budget, so the
+		// link can never legitimately die: each fruitless rewind consumes
+		// at least one corruption bit.
+		retry := 8*len(bits) + 16
+		bit := 0
+		corrupt := func() bool {
+			if bit >= 8*len(bits) {
+				return false
+			}
+			b := bits[bit/8]&(1<<(bit%8)) != 0
+			bit++
+			return b
+		}
+		got, dead := driveLink(t, window, timeout, retry, latency, frames, corrupt, 1<<19)
+		if dead {
+			t.Fatalf("link died with corruption budget %d bits, retry budget %d", 8*len(bits), retry)
+		}
+		if got != frames {
+			t.Fatalf("delivered %d/%d", got, frames)
+		}
+	})
+}
+
+// TestFreshSendLeavesNoPendingReplay is the regression test for a sender bug
+// where OnSend advanced next but not the replay cursor, so every fresh frame
+// was immediately retransmitted (and dropped as a stale duplicate): a 2x
+// bandwidth tax on fault-free links.
+func TestFreshSendLeavesNoPendingReplay(t *testing.T) {
+	s := NewSender(8, 100, 4)
+	for i := 0; i < 5; i++ {
+		if !s.CanSend() {
+			t.Fatalf("send %d: window blocked with %d outstanding", i, s.Outstanding())
+		}
+		s.OnSend(uint64(i))
+		if seq, pending := s.NeedRetx(); pending {
+			t.Fatalf("send %d: fresh frame %d reported as pending replay", i, seq)
+		}
+	}
+	// A real rewind must still replay the full outstanding window.
+	s.OnNack(0, 10)
+	replayed := 0
+	for {
+		if _, pending := s.NeedRetx(); !pending {
+			break
+		}
+		s.OnRetx()
+		replayed++
+	}
+	if replayed != 5 {
+		t.Fatalf("replayed %d frames after rewind, want 5", replayed)
+	}
+}

@@ -1,0 +1,119 @@
+package link
+
+import (
+	"testing"
+)
+
+// Adversarial schedules for the frame-level model: degenerate windows,
+// zero-work links, and heavy error bursts that force repeated go-back-N
+// rewinds.
+
+func TestZeroWorkLinkCompletesImmediately(t *testing.T) {
+	l := New(DefaultConfig(), 0)
+	if !l.Done() {
+		t.Fatal("zero-frame link must start done")
+	}
+	slots, ok := l.Run(100)
+	if !ok || slots != 0 {
+		t.Fatalf("zero-frame run = (%d, %v), want (0, true)", slots, ok)
+	}
+	if l.Sent != 0 || l.Delivered != 0 {
+		t.Errorf("zero-frame link moved frames: sent=%d delivered=%d", l.Sent, l.Delivered)
+	}
+}
+
+func TestZeroWidthWindowRejected(t *testing.T) {
+	for _, cfg := range []Config{
+		{PayloadBytes: 24, OverheadBytes: 6, WindowFrames: 0, RTTCycles: 32},
+		{PayloadBytes: 24, OverheadBytes: 6, WindowFrames: 64, RTTCycles: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New accepted degenerate config %+v", cfg)
+				}
+			}()
+			New(cfg, 10)
+		}()
+	}
+}
+
+// TestStopAndWaitDelivers pins the narrowest legal window: WindowFrames=1
+// degenerates go-back-N to stop-and-wait, which must still deliver every
+// frame exactly once even under heavy corruption.
+func TestStopAndWaitDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowFrames = 1
+	cfg.ErrorRate = 0.3
+	cfg.Seed = 7
+	const total = 50
+	l := New(cfg, total)
+	if _, ok := l.Run(2_000_000); !ok {
+		t.Fatalf("stop-and-wait did not finish: delivered %d/%d", l.Delivered, total)
+	}
+	if l.Delivered != total {
+		t.Errorf("delivered = %d, want exactly %d", l.Delivered, total)
+	}
+	if l.Corrupted == 0 || l.Retransmits == 0 {
+		t.Errorf("error process inactive: corrupted=%d retransmits=%d", l.Corrupted, l.Retransmits)
+	}
+}
+
+// TestMinimalRTT pins the RTTCycles=1 edge (ack delay rounds to zero slots):
+// the schedule still makes progress and terminates.
+func TestMinimalRTT(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTTCycles = 1
+	cfg.WindowFrames = 2
+	cfg.ErrorRate = 0.2
+	cfg.Seed = 3
+	const total = 40
+	l := New(cfg, total)
+	if _, ok := l.Run(1_000_000); !ok || l.Delivered != total {
+		t.Fatalf("minimal-RTT link stalled: delivered %d/%d", l.Delivered, total)
+	}
+}
+
+// TestHeavyErrorBurstsEventuallyDeliver drives repeated back-to-back rewinds:
+// at a 70% frame error rate nearly every window rewinds at least once, yet
+// cumulative acks must still ratchet the base forward to completion.
+func TestHeavyErrorBurstsEventuallyDeliver(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ErrorRate = 0.7
+	cfg.WindowFrames = 8
+	cfg.Seed = 11
+	const total = 30
+	l := New(cfg, total)
+	if _, ok := l.Run(5_000_000); !ok {
+		t.Fatalf("heavy-error link never finished: delivered %d/%d", l.Delivered, total)
+	}
+	if l.Sent <= total {
+		t.Errorf("sent %d frames for %d deliveries; error process inactive", l.Sent, total)
+	}
+	if l.Delivered != total {
+		t.Errorf("delivered = %d, want exactly %d (no loss, no duplication)", l.Delivered, total)
+	}
+}
+
+// TestGoodputMonotoneInWindow: while the window still fits inside the RTT,
+// widening it must not hurt steady-state goodput (it hides more of the RTT;
+// beyond the bandwidth-delay product the property genuinely fails, because a
+// rewind discards the whole outstanding window).
+func TestGoodputMonotoneInWindow(t *testing.T) {
+	const total = 400
+	var prev float64
+	for i, w := range []int{1, 4, 16} {
+		cfg := DefaultConfig()
+		cfg.WindowFrames = w
+		cfg.ErrorRate = 0.05
+		l := New(cfg, total)
+		if _, ok := l.Run(10_000_000); !ok {
+			t.Fatalf("window %d never finished", w)
+		}
+		g := l.Goodput()
+		if i > 0 && g+1e-9 < prev {
+			t.Errorf("goodput fell from %.4f to %.4f when window grew to %d", prev, g, w)
+		}
+		prev = g
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"anton2/internal/arbiter"
 	"anton2/internal/fabric"
+	"anton2/internal/fault"
 	"anton2/internal/packet"
 	"anton2/internal/route"
 	"anton2/internal/topo"
@@ -28,6 +29,12 @@ type ChannelAdapter struct {
 
 	eg  []vcq // mesh -> torus queues, indexed by arrival VC
 	ing []vcq // torus -> router queues, indexed by arrival VC
+
+	// Reliable-link state, non-nil only under fault injection: rlOut is
+	// the go-back-N sender side of torusOut, rlIn the receiver side of
+	// torusIn. Either may be nil for a permanently failed link.
+	rlOut *rlink
+	rlIn  *rlink
 
 	egArb arbiter.Arbiter
 	inArb arbiter.Arbiter
@@ -67,6 +74,10 @@ func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter 
 	a.egArb = m.newArbiter(tvcs, m.adapterWeights(true, id, tvcs))
 	a.inArb = m.newArbiter(tvcs, m.adapterWeights(false, id, tvcs))
 	a.pats = make([]uint8, tvcs)
+	if m.flt != nil {
+		a.rlOut = m.flt.rlinkFor(a.torusOut.ID)
+		a.rlIn = m.flt.rlinkFor(a.torusIn.ID)
+	}
 	return a
 }
 
@@ -74,6 +85,9 @@ func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter 
 func (a *ChannelAdapter) Tick(now uint64) {
 	a.torusOut.AbsorbCredits(now)
 	a.toRouter.AbsorbCredits(now)
+	if a.rlOut != nil {
+		a.reliableOutTick(now)
+	}
 
 	for {
 		p, ok := a.fromRouter.Recv(now)
@@ -95,6 +109,12 @@ func (a *ChannelAdapter) Tick(now uint64) {
 		if !ok {
 			break
 		}
+		// The link-layer verdict comes first: a dropped frame (corrupt or
+		// out of order) must not touch the packet's routing statistics —
+		// its pointer may alias a copy already accepted and moved on.
+		if a.rlIn != nil && !a.acceptFrame(now, p) {
+			continue
+		}
 		p.ArrivedAt = now
 		p.TorusHops++
 		if p.Trace != nil {
@@ -103,53 +123,66 @@ func (a *ChannelAdapter) Tick(now uint64) {
 		a.ing[p.CurVC].push(p)
 		a.queued++
 	}
+	// A pending replay preempts fresh egress traffic (go-back-N order).
+	sentRetx := a.rlOut != nil && a.tryRetransmit(now)
 	if a.queued == 0 {
 		return
 	}
 
 	// Egress: one packet per cycle onto the torus link, chosen among VC
-	// heads with credit downstream.
+	// heads with credit downstream. Under reliability, fresh sends also
+	// need window space and yield to a retransmission this cycle.
 	var req uint64
-	for vci := range a.eg {
-		q := &a.eg[vci]
-		if q.empty() {
-			continue
-		}
-		if !q.routed {
-			p := q.headPkt()
-			// The dateline rule applies as the packet leaves the
-			// node (Section 2.5).
-			vc := route.AdapterEgress(a.m.routeCfg, &p.Route, a.nodeCoord)
-			q.outVC = uint8(route.PhysVC(a.m.Cfg.Scheme, topo.GroupT, p.Route.Class, vc))
-			q.routed = true
-			q.readyAt = p.ArrivedAt + a.m.Cfg.AdapterPipeline
-		}
-		if q.readyAt <= now {
-			if a.torusOut.CanSend(now, q.outVC, q.headPkt().Size) {
-				req |= 1 << vci
-				a.pats[vci] = q.headPkt().PatternID
-			} else {
-				a.EgStarved++
+	if !sentRetx && (a.rlOut == nil || a.rlOut.snd.CanSend()) {
+		for vci := range a.eg {
+			q := &a.eg[vci]
+			if q.empty() {
+				continue
+			}
+			if !q.routed {
+				p := q.headPkt()
+				// The dateline rule applies as the packet leaves the
+				// node (Section 2.5).
+				vc := route.AdapterEgress(a.m.routeCfg, &p.Route, a.nodeCoord)
+				q.outVC = uint8(route.PhysVC(a.m.Cfg.Scheme, topo.GroupT, p.Route.Class, vc))
+				q.routed = true
+				q.readyAt = p.ArrivedAt + a.m.Cfg.AdapterPipeline
+			}
+			if q.readyAt <= now {
+				if a.torusOut.CanSend(now, q.outVC, q.headPkt().Size) {
+					req |= 1 << vci
+					a.pats[vci] = q.headPkt().PatternID
+				} else {
+					a.EgStarved++
+				}
 			}
 		}
-	}
-	if req != 0 {
-		a.EgSent++
-		g := a.egArb.Pick(req, a.pats)
-		if a.m.tel != nil {
-			a.m.tel.OnAdapterGrant(true, a.node, a.id.Index(), g)
+		if req != 0 {
+			a.EgSent++
+			g := a.egArb.Pick(req, a.pats)
+			if a.m.tel != nil {
+				a.m.tel.OnAdapterGrant(true, a.node, a.id.Index(), g)
+			}
+			q := &a.eg[g]
+			outVC := q.outVC
+			p := q.pop()
+			a.queued--
+			a.torusOut.Send(now, p, outVC)
+			if rl := a.rlOut; rl != nil {
+				corrupt := a.m.flt.inj.CorruptNext(rl.link)
+				if corrupt {
+					a.m.flt.Counters.CorruptInjected++
+				}
+				rl.pushMeta(rl.snd.OnSend(now), outVC, corrupt)
+				rl.win = append(rl.win, winEntry{p: p, vc: outVC})
+			}
+			if a.m.checks != nil {
+				a.m.checks.OnSend(p, a.torusOut, outVC, now)
+			}
+			p.Tracepoint(a.outLabel, now)
+			a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
+			a.m.Engine.Progress()
 		}
-		q := &a.eg[g]
-		outVC := q.outVC
-		p := q.pop()
-		a.queued--
-		a.torusOut.Send(now, p, outVC)
-		if a.m.checks != nil {
-			a.m.checks.OnSend(p, a.torusOut, outVC, now)
-		}
-		p.Tracepoint(a.outLabel, now)
-		a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
-		a.m.Engine.Progress()
 	}
 
 	// Ingress: one packet per cycle toward the router.
@@ -218,6 +251,98 @@ func (a *ChannelAdapter) Tick(now uint64) {
 		}
 		a.m.Engine.Progress()
 	}
+}
+
+// acceptFrame runs the go-back-N receiver over one frame arriving on
+// torusIn and returns whether the packet is delivered upward. Dropped
+// frames (corrupt, out of order, or stale duplicates) release their buffer
+// space immediately on the frame's wire VC; only the frame metadata is
+// consulted for that, because the packet pointer of a stale duplicate may
+// alias a packet that has long since moved on.
+func (a *ChannelAdapter) acceptFrame(now uint64, p *packet.Packet) bool {
+	rl := a.rlIn
+	flt := a.m.flt
+	mt := rl.popMeta()
+	if mt.corrupt {
+		flt.Counters.CorruptDetected++
+	}
+	v := rl.rcv.OnFrame(mt.seq, mt.corrupt)
+	switch {
+	case v.Ack:
+		rl.ctrl.Send(now, linkCtrl{seq: v.Seq})
+		flt.Counters.Acks++
+	case v.Nack:
+		rl.ctrl.Send(now, linkCtrl{seq: v.Seq, nack: true})
+		flt.Counters.Nacks++
+	}
+	if v.Accept {
+		return true
+	}
+	if !mt.corrupt && mt.seq < rl.rcv.Expected() {
+		flt.Counters.DupsDropped++
+	}
+	a.torusIn.ReturnCredit(now, mt.vc, p.Size)
+	a.m.Engine.Progress()
+	return false
+}
+
+// reliableOutTick drains torusOut's ack/nack channel into the go-back-N
+// sender, releases acknowledged window entries, and fires the timeout
+// rewind. A sender that exhausts its rewind budget marks the whole run
+// fatally degraded.
+func (a *ChannelAdapter) reliableOutTick(now uint64) {
+	rl := a.rlOut
+	flt := a.m.flt
+	for {
+		c, ok := rl.ctrl.Poll(now)
+		if !ok {
+			break
+		}
+		var released int
+		if c.nack {
+			released = rl.snd.OnNack(c.seq, now)
+		} else {
+			released = rl.snd.OnAck(c.seq, now)
+		}
+		if released > 0 {
+			rl.win = rl.win[:copy(rl.win, rl.win[released:])]
+			a.m.Engine.Progress()
+		}
+	}
+	if rl.snd.Tick(now) {
+		flt.Counters.Timeouts++
+	}
+	if rl.snd.Dead() && flt.fatal == nil {
+		flt.fatal = &fault.BudgetError{Link: rl.ch.Name, Attempts: rl.snd.Attempts()}
+	}
+}
+
+// tryRetransmit replays the next pending window entry on torusOut, if the
+// serializer and credits allow. Retransmissions bypass the invariant
+// suite's OnSend hook: the packet's routing state may legitimately have
+// advanced since the original transmission, so route-progress checks would
+// misfire on the stale copy.
+func (a *ChannelAdapter) tryRetransmit(now uint64) bool {
+	rl := a.rlOut
+	seq, ok := rl.snd.NeedRetx()
+	if !ok {
+		return false
+	}
+	ent := rl.win[seq-rl.snd.Base()]
+	if !a.torusOut.CanSend(now, ent.vc, ent.p.Size) {
+		return false
+	}
+	flt := a.m.flt
+	corrupt := flt.inj.CorruptNext(rl.link)
+	if corrupt {
+		flt.Counters.CorruptInjected++
+	}
+	a.torusOut.Resend(now, ent.p, ent.vc)
+	rl.pushMeta(seq, ent.vc, corrupt)
+	rl.snd.OnRetx()
+	flt.Counters.Retransmits++
+	a.m.Engine.Progress()
+	return true
 }
 
 // ingHead returns the packet that would move next from an ingress queue: a

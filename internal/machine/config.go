@@ -9,6 +9,7 @@ package machine
 import (
 	"anton2/internal/arbiter"
 	"anton2/internal/check"
+	"anton2/internal/fault"
 	"anton2/internal/loadcalc"
 	"anton2/internal/multicast"
 	"anton2/internal/route"
@@ -97,6 +98,15 @@ type Config struct {
 	// Like Check it never perturbs the simulation and is excluded from
 	// experiment cache keys.
 	Telemetry *telemetry.Options
+
+	// Fault, when non-nil, attaches the internal/fault layer: deterministic
+	// injection of transient flit corruption, link stalls, credit loss, and
+	// permanent link outages, countered by go-back-N reliable-link
+	// retransmission and injection-time rerouting around failed links. The
+	// injector is seeded from Seed, so the same config reproduces the same
+	// fault schedule. Nil preserves the paper's lossless-channel model with
+	// zero overhead and bit-identical results.
+	Fault *fault.Spec
 
 	// Seed makes runs reproducible.
 	Seed uint64

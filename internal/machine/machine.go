@@ -33,9 +33,11 @@ type Machine struct {
 	// checks is the attached invariant suite, or nil when Cfg.Check is
 	// false; every hook site guards on nil so disabled checking costs one
 	// predicted branch. tel follows the same discipline for the
-	// observability layer.
+	// observability layer, and flt for the fault-injection and
+	// reliable-link layer.
 	checks *check.Suite
 	tel    *telemetry.Collector
+	flt    *faultLayer
 }
 
 // Node groups one ASIC's components.
@@ -110,6 +112,17 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 
+	// Fault layer, before the components: it must exist when the channel
+	// adapters bind their reliable-link state, and it ticks first each
+	// cycle so stall transitions and credit resyncs precede all adapters.
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		m.flt = newFaultLayer(m, *cfg.Fault)
+		m.Engine.Register(m.flt)
+	}
+
 	// Components, registered in a fixed order for determinism.
 	m.nodes = make([]*Node, tm.NumNodes())
 	for n := 0; n < tm.NumNodes(); n++ {
@@ -137,14 +150,18 @@ func New(cfg Config) (*Machine, error) {
 		}, cfg.CheckOptions)
 	}
 	if cfg.Telemetry != nil {
-		m.tel = telemetry.NewCollector(telemetry.Env{
+		env := telemetry.Env{
 			Topo:            tm,
 			Channels:        m.chans,
 			MaxVCs:          route.MaxTotalVCs(cfg.Scheme),
 			MeshVCBuf:       cfg.MeshVCBuf,
 			CyclePS:         CyclePS,
 			ScanVCOccupancy: m.scanVCOccupancy,
-		}, *cfg.Telemetry)
+		}
+		if m.flt != nil {
+			env.FaultCounters = func() map[string]uint64 { return m.flt.Counters.Map() }
+		}
+		m.tel = telemetry.NewCollector(env, *cfg.Telemetry)
 	}
 	switch {
 	case m.checks != nil && m.tel != nil:
@@ -158,6 +175,9 @@ func New(cfg Config) (*Machine, error) {
 	case m.tel != nil:
 		m.Engine.AfterStep = m.tel.Cycle
 	}
+	// The detail provider runs only on the watchdog failure path, so
+	// attaching it unconditionally costs nothing on healthy runs.
+	m.Engine.DeadlockDetail = m.deadlockDetail
 	return m, nil
 }
 
@@ -231,7 +251,24 @@ func clipWeights(w [][arbiter.NumPatterns]uint32, k int) [][arbiter.NumPatterns]
 }
 
 // MakePacket allocates a packet from the pool with an initialized route.
+// When permanent link faults are active, the routing choices are steered
+// away from the failed links at injection time (graceful degradation); an
+// unreachable destination marks the run fatally unroutable.
 func (m *Machine) MakePacket(src, dst topo.NodeEp, c route.Choices, class route.Class, pattern uint8, size uint8) *packet.Packet {
+	if m.flt != nil && len(m.flt.failed) > 0 {
+		avoided, rerouted, ok := route.ChoicesAvoiding(m.routeCfg, src, dst, c, class, m.flt.failed)
+		if !ok {
+			m.flt.Counters.Unroutable++
+			if m.flt.fatal == nil {
+				m.flt.fatal = fmt.Errorf("machine: no minimal route from %v to %v avoids the failed links", src, dst)
+			}
+		} else {
+			if rerouted {
+				m.flt.Counters.Rerouted++
+			}
+			c = avoided
+		}
+	}
 	p := m.alloc()
 	p.Src, p.Dst = src, dst
 	p.Size = size
@@ -318,7 +355,11 @@ func (m *Machine) deliver(e *EndpointAdapter, p *packet.Packet, now uint64) {
 	if e.OnDeliver != nil {
 		retain = e.OnDeliver(p, now)
 	}
-	if !retain {
+	// With the reliable-link layer active a delivered packet may still sit
+	// in an upstream retransmission window (awaiting its cumulative ack);
+	// recycling it would let a timeout rewind retransmit a packet whose
+	// fields the pool has since rewritten. Fault runs skip pooling.
+	if !retain && m.flt == nil {
 		m.pool = append(m.pool, p)
 	}
 }
@@ -328,7 +369,9 @@ func (m *Machine) free(p *packet.Packet) {
 	if m.checks != nil {
 		m.checks.OnFree(p, m.Engine.Now())
 	}
-	m.pool = append(m.pool, p)
+	if m.flt == nil {
+		m.pool = append(m.pool, p)
+	}
 }
 
 // Injected and Delivered report machine-wide packet counts.
@@ -388,6 +431,12 @@ func (m *Machine) queuedPackets() int {
 			total += e.Pending()
 		}
 	}
+	if m.flt != nil {
+		// Reliable links are census-exempt (their pipes may hold duplicate
+		// transmissions of one logical packet); the retransmission windows
+		// account for their live packets instead.
+		total += m.flt.windowLive()
+	}
 	return total
 }
 
@@ -401,6 +450,9 @@ func (m *Machine) quiet() bool {
 		if !ch.Quiet() {
 			return false
 		}
+	}
+	if m.flt != nil && !m.flt.quiet() {
+		return false
 	}
 	return true
 }
@@ -441,9 +493,18 @@ func (m *Machine) FinishChecks() error {
 
 // RunUntilDelivered advances the simulation until the machine-wide delivered
 // count reaches want. It returns the cycle at completion, or an error on
-// watchdog deadlock / budget exhaustion.
+// watchdog deadlock / budget exhaustion. Under fault injection a fatal
+// protocol failure (retry budget exhausted, unroutable destination) stops
+// the run immediately and is returned instead of spinning into the watchdog.
 func (m *Machine) RunUntilDelivered(want uint64, maxCycles uint64) (uint64, error) {
-	err := m.Engine.RunUntil(func() bool { return m.delivered >= want }, maxCycles, 50_000)
+	done := func() bool { return m.delivered >= want }
+	if m.flt != nil {
+		done = func() bool { return m.delivered >= want || m.flt.fatal != nil }
+	}
+	err := m.Engine.RunUntil(done, maxCycles, 50_000)
+	if m.flt != nil && m.flt.fatal != nil {
+		return m.Engine.Now(), m.flt.fatal
+	}
 	return m.Engine.Now(), err
 }
 

@@ -1,0 +1,67 @@
+package multicast
+
+import (
+	"testing"
+
+	"anton2/internal/topo"
+)
+
+func avoidMachine(t *testing.T) *topo.Machine {
+	t.Helper()
+	m, err := topo.NewMachine(topo.Shape3(4, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBuildAvoidingSingleLink: failing any single link of a tree must yield
+// an alternative tree that still reaches every destination and avoids it.
+func TestBuildAvoidingSingleLink(t *testing.T) {
+	m := avoidMachine(t)
+	root := topo.NodeCoord{X: 1, Y: 1, Z: 1}
+	dests := PlaneNeighborhood(m.Shape, root, topo.DimX, topo.DimY, 1, 0)
+	base := Build(m.Shape, root, dests, topo.DimOrder{topo.DimX, topo.DimY, topo.DimZ}, 0)
+	for _, link := range base.TorusLinks(m) {
+		failed := map[int]bool{link: true}
+		tr, ok := BuildAvoiding(m, root, dests, base.Order, base.Slice, failed)
+		if !ok {
+			t.Fatalf("no avoiding tree for single failed link %d", link)
+		}
+		if tr.UsesAny(m, failed) {
+			t.Fatalf("avoiding tree still uses failed link %d", link)
+		}
+		if got, want := tr.Compile(m.Shape).TotalDeliveries(), len(dests); got != want {
+			t.Fatalf("avoiding tree delivers %d copies, want %d", got, want)
+		}
+	}
+}
+
+// TestBuildAvoidingPrefersGiven: with no failures the preferred (order,
+// slice) is returned untouched.
+func TestBuildAvoidingPrefersGiven(t *testing.T) {
+	m := avoidMachine(t)
+	root := topo.NodeCoord{}
+	dests := PlaneNeighborhood(m.Shape, root, topo.DimY, topo.DimZ, 1, 2)
+	ord := topo.DimOrder{topo.DimZ, topo.DimY, topo.DimX}
+	tr, ok := BuildAvoiding(m, root, dests, ord, 1, nil)
+	if !ok || tr.Order != ord || tr.Slice != 1 {
+		t.Fatalf("preferred choice not kept: order %v slice %d ok %v", tr.Order, tr.Slice, ok)
+	}
+}
+
+// TestBuildAvoidingImpossible: failing both slices of the only hop to an
+// adjacent destination leaves no valid tree; ok must be false.
+func TestBuildAvoidingImpossible(t *testing.T) {
+	m := avoidMachine(t)
+	root := topo.NodeCoord{}
+	dest := m.Shape.Neighbor(root, topo.XPos)
+	dests := []topo.NodeEp{{Node: m.Shape.NodeID(dest), Ep: 0}}
+	failed := map[int]bool{}
+	for s := 0; s < topo.NumSlices; s++ {
+		failed[m.TorusChanID(m.Shape.NodeID(root), topo.XPos, s)] = true
+	}
+	if _, ok := BuildAvoiding(m, root, dests, topo.DimOrder{topo.DimX, topo.DimY, topo.DimZ}, 0, failed); ok {
+		t.Fatal("BuildAvoiding claimed to avoid an unavoidable link")
+	}
+}

@@ -29,6 +29,12 @@ type Engine struct {
 	// scans off this hook; when nil the engine pays a single predicted
 	// branch per cycle.
 	AfterStep func(now uint64)
+
+	// DeadlockDetail, when non-nil, is called once when the RunUntil
+	// watchdog fires, to capture a diagnostic snapshot (e.g. a per-router
+	// blocked-VC summary) into the returned ErrDeadlock. It runs only on
+	// the failure path, so it may be arbitrarily expensive.
+	DeadlockDetail func() string
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -66,14 +72,24 @@ func (e *Engine) Run(n uint64) {
 }
 
 // ErrDeadlock is returned by RunUntil when no component reports progress for
-// the configured watchdog window while the completion predicate is false.
+// the configured watchdog window while the completion predicate is false. It
+// carries a diagnostic snapshot: the cycle the watchdog fired, the cycle of
+// the last observed progress, and (when the engine has a DeadlockDetail
+// provider) a per-router summary of blocked state.
 type ErrDeadlock struct {
-	Cycle  uint64
-	Window uint64
+	Cycle        uint64
+	Window       uint64
+	LastProgress uint64 // cycle at which progress was last observed
+	Detail       string // optional component snapshot, one line per blocked unit
 }
 
 func (e *ErrDeadlock) Error() string {
-	return fmt.Sprintf("sim: no progress for %d cycles at cycle %d (deadlock or starvation)", e.Window, e.Cycle)
+	msg := fmt.Sprintf("sim: no progress for %d cycles at cycle %d (deadlock or starvation; last progress at cycle %d)",
+		e.Window, e.Cycle, e.LastProgress)
+	if e.Detail != "" {
+		msg += "\n" + e.Detail
+	}
+	return msg
 }
 
 // ErrTimeout is returned by RunUntil when maxCycles elapse before done()
@@ -100,7 +116,11 @@ func (e *Engine) RunUntil(done func() bool, maxCycles, watchdog uint64) error {
 			lastProgress = e.progress
 			lastProgressAt = e.now
 		} else if watchdog != 0 && e.now-lastProgressAt >= watchdog {
-			return &ErrDeadlock{Cycle: e.now, Window: watchdog}
+			err := &ErrDeadlock{Cycle: e.now, Window: watchdog, LastProgress: lastProgressAt}
+			if e.DeadlockDetail != nil {
+				err.Detail = e.DeadlockDetail()
+			}
+			return err
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -73,6 +74,57 @@ func TestRunUntilDeadlock(t *testing.T) {
 	}
 	if de.Cycle > 11 {
 		t.Errorf("deadlock flagged at cycle %d, want within watchdog window", de.Cycle)
+	}
+}
+
+// stallAfter makes progress for the first n cycles, then wedges.
+type stallAfter struct {
+	e *Engine
+	n uint64
+}
+
+func (s *stallAfter) Tick(now uint64) {
+	if now < s.n {
+		s.e.Progress()
+	}
+}
+
+// TestDeadlockSnapshot: the watchdog error must carry the cycle it fired,
+// the last-progress cycle, and the DeadlockDetail provider's snapshot, and
+// render all three in its message.
+func TestDeadlockSnapshot(t *testing.T) {
+	e := NewEngine()
+	e.Register(&stallAfter{e: e, n: 7})
+	detailCalls := 0
+	e.DeadlockDetail = func() string {
+		detailCalls++
+		return "router 3 vc 1: 2 pkts blocked"
+	}
+	err := e.RunUntil(func() bool { return false }, 1000, 10)
+	var de *ErrDeadlock
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if de.LastProgress != 7 {
+		t.Errorf("LastProgress = %d, want 7 (progress stopped after cycle 7)", de.LastProgress)
+	}
+	if de.Cycle != de.LastProgress+10 {
+		t.Errorf("Cycle = %d, want last progress + watchdog window (%d)", de.Cycle, de.LastProgress+10)
+	}
+	if de.Window != 10 {
+		t.Errorf("Window = %d, want 10", de.Window)
+	}
+	if de.Detail != "router 3 vc 1: 2 pkts blocked" {
+		t.Errorf("Detail = %q, want provider snapshot", de.Detail)
+	}
+	if detailCalls != 1 {
+		t.Errorf("DeadlockDetail called %d times, want once (failure path only)", detailCalls)
+	}
+	msg := de.Error()
+	for _, want := range []string{"last progress at cycle 7", "router 3 vc 1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
 	}
 }
 

@@ -24,6 +24,9 @@ type Report struct {
 	Arbiters    []ArbStat     `json:"arbiters"`
 	ArbSummary  []ArbSummary  `json:"arb_summary"`
 	Traces      []PacketTrace `json:"traces,omitempty"`
+	// Faults holds the fault-injection and reliable-link protocol event
+	// counts by name; present only when the machine ran with a fault spec.
+	Faults map[string]uint64 `json:"faults,omitempty"`
 }
 
 // ChannelStat summarizes one directed channel. Utilization is normalized to
@@ -108,6 +111,9 @@ func (c *Collector) buildReport() *Report {
 	c.channelStats(r)
 	c.occStats(r)
 	c.arbStats(r)
+	if c.env.FaultCounters != nil {
+		r.Faults = c.env.FaultCounters()
+	}
 	return r
 }
 

@@ -81,6 +81,10 @@ type Env struct {
 	// another; the collector aggregates identically-placed routers across
 	// nodes.
 	ScanVCOccupancy func(visit func(router int, vc uint8, flits int))
+	// FaultCounters, when non-nil, snapshots the machine's fault-injection
+	// and reliable-link protocol counters for the report (nil when the
+	// fault layer is not attached, keeping fault-free reports byte-stable).
+	FaultCounters func() map[string]uint64
 }
 
 // Collector accumulates telemetry for one machine. All hook methods are safe
