@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -324,6 +325,17 @@ func sweep(name string, jobs []exp.Job) ([]exp.Result, error) {
 			return rs, err
 		}
 		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", name, path)
+		// Also write the canonical (comparison-format) artifact: the exact
+		// bytes anton2serve returns for an identical sweep, which lets CI
+		// diff server responses against bench output byte for byte.
+		canon, err := exp.MarshalCanonical(rs)
+		if err != nil {
+			return rs, err
+		}
+		cpath := filepath.Join(*jsonDir, name+".canonical.json")
+		if err := os.WriteFile(cpath, canon, 0o644); err != nil {
+			return rs, err
+		}
 	}
 	var err error
 	if n := exp.Failed(rs); n > 0 {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagRejection pins the exit-2 contract: invalid flags never start a
+// server.
+func TestFlagRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"stray argument", []string{"serve-harder"}},
+		{"negative workers", []string{"-workers", "-1"}},
+		{"negative queue", []string{"-max-queue", "-3"}},
+		{"negative timeout", []string{"-queue-timeout", "-5s"}},
+		{"zero loadtest requests", []string{"-lt-requests", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", got, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("rejection produced no diagnostic")
+			}
+		})
+	}
+}
+
+// TestLoadTestMode runs the self-load-test end to end, small: the binary
+// starts its own server on an ephemeral port, drives it, and reports
+// percentiles and cache behavior.
+func TestLoadTestMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadtest",
+		"-lt-requests", "12",
+		"-lt-clients", "3",
+		"-lt-batch", "8",
+		"-workers", "4",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"throughput", "p50", "p99", "status 200 x12", "anton2serve_cache_hit_rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

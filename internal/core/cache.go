@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"anton2/internal/exp"
@@ -53,3 +54,62 @@ func computeLoads(cfg machine.Config, p traffic.Pattern) (*loadcalc.Loads, error
 // tables are currently cached (instrumentation for tests and EXPERIMENTS.md
 // timing notes).
 func CachedLoadsLen() int { return sharedLoads.Len() }
+
+// loadsWire shadows Loads.Cfg out of the JSON encoding: the routing
+// configuration holds an interface-valued scheme and a topology pointer —
+// neither round-trips through JSON — and no post-computation consumer
+// (BuildWeights, SaturationRate, the normalizers) reads it, so a restored
+// table with a nil Cfg is fully usable. The shadow must carry a JSON name
+// (a `json:"-"` field would not participate in field dominance); a nil
+// RawMessage with omitempty keeps it out of the encoded bytes.
+type loadsWire struct {
+	*loadcalc.Loads
+	Cfg json.RawMessage `json:"Cfg,omitempty"`
+}
+
+// SnapshotLoads serializes every completed cached load table, keyed by its
+// canonical loadsKey string. anton2serve persists the snapshot next to its
+// artifact cache so a restarted server skips the analytic route enumeration
+// for every configuration it has ever served.
+func SnapshotLoads() (map[string]json.RawMessage, error) {
+	out := map[string]json.RawMessage{}
+	var firstErr error
+	sharedLoads.Range(func(key string, val any) {
+		l, ok := val.(*loadcalc.Loads)
+		if !ok {
+			return
+		}
+		b, err := json.Marshal(loadsWire{Loads: l})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: snapshot loads %q: %w", key, err)
+			}
+			return
+		}
+		out[key] = b
+	})
+	return out, firstErr
+}
+
+// RestoreLoads pre-seeds the shared load-table cache from a SnapshotLoads
+// snapshot, returning how many entries were inserted. Keys already present
+// (computed or in flight) win over the snapshot, so restoring is always
+// safe, including concurrently with live traffic.
+func RestoreLoads(snapshot map[string]json.RawMessage) (int, error) {
+	restored := 0
+	for key, raw := range snapshot {
+		l := &loadcalc.Loads{}
+		if err := json.Unmarshal(raw, &loadsWire{Loads: l}); err != nil {
+			return restored, fmt.Errorf("core: restore loads %q: %w", key, err)
+		}
+		if sharedLoads.Seed(key, l) {
+			restored++
+		}
+	}
+	return restored, nil
+}
+
+// LoadsCacheKey exposes the canonical load-table cache key for a
+// (machine configuration, pattern) pair, so persistence layers can name
+// snapshot entries consistently with the in-process cache.
+func LoadsCacheKey(cfg machine.Config, p traffic.Pattern) string { return loadsKey(cfg, p) }

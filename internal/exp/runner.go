@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -48,6 +49,11 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed job
 	// (conventionally os.Stderr).
 	Progress io.Writer
+	// OnResult, when non-nil, receives every completed result (including
+	// failed and cancelled points). Calls are serialized by the pool, so
+	// the callback needs no locking of its own, but it runs on worker
+	// goroutines and must not block.
+	OnResult func(Result)
 }
 
 // Serial returns options that run jobs one at a time in order.
@@ -86,6 +92,16 @@ type Result struct {
 // input order. A job that fails (including by panic or simulated deadlock)
 // becomes a failed point; the rest of the sweep still completes.
 func Run(jobs []Job, opts Options) []Result {
+	return RunCtx(context.Background(), jobs, opts)
+}
+
+// RunCtx is Run under a context: when ctx is cancelled the pool stops
+// scheduling new jobs promptly, fills every unscheduled point with a typed
+// *ErrCancelled failure, and returns once the in-flight jobs finish their
+// current attempt (retry backoff waits are interrupted). Cancelled points
+// are never written to the cache, so a later run of the same specs
+// recomputes them.
+func RunCtx(ctx context.Context, jobs []Job, opts Options) []Result {
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -95,36 +111,44 @@ func Run(jobs []Job, opts Options) []Result {
 	}
 	results := make([]Result, len(jobs))
 
-	var mu sync.Mutex // guards progress output + completion count
+	var mu sync.Mutex // guards progress output, OnResult, completion count
 	done := 0
 	report := func(r *Result) {
-		if opts.Progress == nil {
+		if opts.Progress == nil && opts.OnResult == nil {
 			return
 		}
 		mu.Lock()
 		defer mu.Unlock()
 		done++
-		status := "ok"
-		switch {
-		case r.Deadlock:
-			status = "DEADLOCK"
-		case r.Err != nil && r.Degraded:
-			status = "DEGRADED"
-		case r.Err != nil:
-			status = "FAILED"
-		case r.Cached:
-			status = "cached"
-		case r.Degraded:
-			status = "degraded"
+		if opts.Progress != nil {
+			status := "ok"
+			var cancelled *ErrCancelled
+			switch {
+			case r.Deadlock:
+				status = "DEADLOCK"
+			case errors.As(r.Err, &cancelled):
+				status = "cancelled"
+			case r.Err != nil && r.Degraded:
+				status = "DEGRADED"
+			case r.Err != nil:
+				status = "FAILED"
+			case r.Cached:
+				status = "cached"
+			case r.Degraded:
+				status = "degraded"
+			}
+			name := opts.Name
+			if name == "" {
+				name = "exp"
+			}
+			fmt.Fprintf(opts.Progress, "%s: [%*d/%d] %-8s %s (%.0f ms)\n",
+				name, digits(len(jobs)), done, len(jobs), status, truncate(r.Spec, 96), r.WallMS)
+			if r.Err != nil {
+				fmt.Fprintf(opts.Progress, "%s:   error: %v\n", name, r.Err)
+			}
 		}
-		name := opts.Name
-		if name == "" {
-			name = "exp"
-		}
-		fmt.Fprintf(opts.Progress, "%s: [%*d/%d] %-8s %s (%.0f ms)\n",
-			name, digits(len(jobs)), done, len(jobs), status, truncate(r.Spec, 96), r.WallMS)
-		if r.Err != nil {
-			fmt.Fprintf(opts.Progress, "%s:   error: %v\n", name, r.Err)
+		if opts.OnResult != nil {
+			opts.OnResult(*r)
 		}
 	}
 
@@ -135,21 +159,50 @@ func Run(jobs []Job, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(i, jobs[i], opts)
+				if err := ctx.Err(); err != nil {
+					results[i] = cancelledResult(i, jobs[i], err)
+				} else {
+					results[i] = runOne(ctx, i, jobs[i], opts)
+				}
 				report(&results[i])
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Every job not yet handed to a worker becomes a cancelled
+			// point; the workers drain whatever they already started.
+			for j := i; j < len(jobs); j++ {
+				results[j] = cancelledResult(j, jobs[j], ctx.Err())
+				report(&results[j])
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return results
 }
 
+// cancelledResult fills one never-run point after cancellation.
+func cancelledResult(i int, j Job, cause error) Result {
+	err := &ErrCancelled{Cause: cause}
+	return Result{
+		Index: i,
+		Kind:  j.Spec.Kind(),
+		Spec:  j.Spec.Canonical(),
+		Hash:  fmt.Sprintf("%016x", j.Spec.Hash()),
+		Seed:  j.Spec.Seed(),
+		Err:   err,
+		Error: err.Error(),
+	}
+}
+
 // runOne executes a single job with retry, panic isolation, and caching.
-func runOne(i int, j Job, opts Options) Result {
+func runOne(ctx context.Context, i int, j Job, opts Options) Result {
 	r := Result{
 		Index: i,
 		Kind:  j.Spec.Kind(),
@@ -166,8 +219,14 @@ func runOne(i int, j Job, opts Options) Result {
 		}()
 		return j.Run(r.Seed)
 	}
-	if opts.AttemptTimeout > 0 {
+	if opts.AttemptTimeout > 0 || ctx.Done() != nil {
 		inner := attempt
+		limit := opts.AttemptTimeout
+		if limit <= 0 {
+			// Cancellation-only wrapping: no deadline, but a cancelled
+			// context still abandons the in-flight attempt promptly.
+			limit = time.Duration(1<<62 - 1)
+		}
 		attempt = func() (any, error) {
 			type outcome struct {
 				val any
@@ -178,13 +237,15 @@ func runOne(i int, j Job, opts Options) Result {
 				v, e := inner()
 				ch <- outcome{val: v, err: e}
 			}()
-			timer := time.NewTimer(opts.AttemptTimeout)
+			timer := time.NewTimer(limit)
 			defer timer.Stop()
 			select {
 			case o := <-ch:
 				return o.val, o.err
 			case <-timer.C:
 				return nil, &ErrAttemptTimeout{Kind: r.Kind, Limit: opts.AttemptTimeout}
+			case <-ctx.Done():
+				return nil, &ErrCancelled{Cause: ctx.Err()}
 			}
 		}
 	}
@@ -194,11 +255,21 @@ func runOne(i int, j Job, opts Options) Result {
 		var err error
 		for a := 0; a <= opts.Retries; a++ {
 			if a > 0 && opts.Backoff > 0 {
-				time.Sleep(opts.Backoff << (a - 1))
+				wait := time.NewTimer(opts.Backoff << (a - 1))
+				select {
+				case <-wait.C:
+				case <-ctx.Done():
+					wait.Stop()
+					return nil, &ErrCancelled{Cause: ctx.Err()}
+				}
 			}
 			attempts++
 			if val, err = attempt(); err == nil {
 				return val, nil
+			}
+			var cancelled *ErrCancelled
+			if errors.As(err, &cancelled) {
+				return nil, err // retrying a cancelled run cannot help
 			}
 		}
 		return nil, err
@@ -207,6 +278,12 @@ func runOne(i int, j Job, opts Options) Result {
 	var err error
 	if opts.Cache != nil {
 		val, r.Cached, err = opts.Cache.Do(r.Spec, tryAll)
+		// A cancelled computation reflects this run's deadline, not the
+		// spec's deterministic outcome; drop it so later runs recompute.
+		var cancelled *ErrCancelled
+		if errors.As(err, &cancelled) {
+			opts.Cache.Forget(r.Spec)
+		}
 	} else {
 		val, err = tryAll()
 	}
@@ -248,6 +325,19 @@ func (e *ErrAttemptTimeout) Error() string {
 // Degraded marks the timeout as a degradation outcome (the run was bounded,
 // not broken).
 func (e *ErrAttemptTimeout) Degraded() bool { return true }
+
+// ErrCancelled reports a point that never ran (or was abandoned mid-attempt)
+// because the RunCtx context was cancelled. It unwraps to the context's
+// error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work.
+type ErrCancelled struct{ Cause error }
+
+func (e *ErrCancelled) Error() string {
+	return fmt.Sprintf("exp: run cancelled: %v", e.Cause)
+}
+
+// Unwrap exposes the context error that triggered the cancellation.
+func (e *ErrCancelled) Unwrap() error { return e.Cause }
 
 // FirstErr returns the first failed result's error annotated with its spec,
 // or nil when every point succeeded.

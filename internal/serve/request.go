@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"anton2/internal/arbiter"
+	"anton2/internal/core"
+	"anton2/internal/exp"
+	"anton2/internal/fault"
+	"anton2/internal/machine"
+	"anton2/internal/power"
+	"anton2/internal/telemetry"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// Request is one experiment submission: a family (the same families
+// anton2bench runs) plus its sweep axes. Every field that influences results
+// is folded into the canonical spec, so two requests with the same canonical
+// string are the same experiment — they collapse to one run in flight and
+// share one content-addressed artifact forever.
+type Request struct {
+	// Family selects the experiment: throughput, blend, latency, energy,
+	// or faultsweep.
+	Family string `json:"family"`
+	// Shape is the torus shape, e.g. "4x4x2" (ignored by energy, which
+	// always measures the single-node loop machine like Figure 13).
+	Shape string `json:"shape,omitempty"`
+	// Pattern is the traffic pattern for throughput and faultsweep
+	// (default "uniform"): uniform, 1-hop, 2-hop, tornado,
+	// reverse-tornado, bit-complement, nearest-neighbor.
+	Pattern string `json:"pattern,omitempty"`
+	// Arbiter selects throughput arbitration: "rr" (default) or "iw".
+	Arbiter string `json:"arbiter,omitempty"`
+	// Batches are the throughput sweep points (packets per core).
+	Batches []int `json:"batches,omitempty"`
+	// Batch is the per-point batch size for blend and faultsweep.
+	Batch int `json:"batch,omitempty"`
+	// Fractions are the blend sweep points (tornado fraction, 0..1).
+	Fractions []float64 `json:"fractions,omitempty"`
+	// Weights is the blend weight mode: none, forward, reverse, both.
+	Weights string `json:"weights,omitempty"`
+	// Rates are the faultsweep corruption rates (0..1).
+	Rates []float64 `json:"rates,omitempty"`
+	// Fault is the faultsweep base fault spec held fixed across points,
+	// e.g. "stall=0.001,faillinks=1" (same syntax as anton2bench -fault).
+	Fault string `json:"fault,omitempty"`
+	// Payload is the energy payload kind: zeros, ones, random.
+	Payload string `json:"payload,omitempty"`
+	// Flits is the energy stream length (default 400).
+	Flits int `json:"flits,omitempty"`
+}
+
+// RequestError is a validation failure: the submission never reached the
+// queue. It maps to HTTP 400 exactly where the CLI harness exits 2.
+type RequestError struct {
+	Field string `json:"field,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+func (e *RequestError) Error() string {
+	if e.Field == "" {
+		return "serve: invalid request: " + e.Msg
+	}
+	return fmt.Sprintf("serve: invalid request field %q: %s", e.Field, e.Msg)
+}
+
+func badField(field, format string, args ...any) error {
+	return &RequestError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxSweepPoints bounds a single request's fan-out so one submission cannot
+// occupy the worker pool unboundedly.
+const maxSweepPoints = 64
+
+// maxRequestBytes bounds the decoded submission body.
+const maxRequestBytes = 1 << 16
+
+// ParseRequest decodes and validates one submission body.
+func ParseRequest(r io.Reader) (*Request, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	req := &Request{}
+	if err := dec.Decode(req); err != nil {
+		return nil, &RequestError{Msg: "malformed JSON: " + err.Error()}
+	}
+	if _, err := req.compile(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// compiled is a validated request lowered to the pieces the runner needs.
+type compiled struct {
+	spec *exp.Spec
+	// build constructs the jobs. It is re-invoked per execution so each
+	// point can carry its own telemetry progress hook.
+	build func(tel func() *telemetry.Options) []exp.Job
+}
+
+// Validate checks the request without building jobs.
+func (q *Request) Validate() error {
+	_, err := q.compile()
+	return err
+}
+
+// Canonical returns the canonical sweep encoding, e.g.
+// "serve-throughput{shape=4x2x2 pattern=uniform arb=rr batches=32|64}".
+func (q *Request) Canonical() (string, error) {
+	c, err := q.compile()
+	if err != nil {
+		return "", err
+	}
+	return c.spec.Canonical(), nil
+}
+
+// ID returns the content address of the request's artifact: the hex spec
+// hash of the canonical sweep encoding.
+func (q *Request) ID() (string, error) {
+	c, err := q.compile()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", c.spec.Hash()), nil
+}
+
+// Jobs builds the sweep's jobs; tel supplies per-point telemetry options
+// (nil options disable collection for that point).
+func (q *Request) Jobs(tel func() *telemetry.Options) ([]exp.Job, error) {
+	c, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.build(tel), nil
+}
+
+func (q *Request) compile() (*compiled, error) {
+	switch q.Family {
+	case "throughput":
+		return q.compileThroughput()
+	case "blend":
+		return q.compileBlend()
+	case "latency":
+		return q.compileLatency()
+	case "energy":
+		return q.compileEnergy()
+	case "faultsweep":
+		return q.compileFaultsweep()
+	case "":
+		return nil, badField("family", "missing (throughput, blend, latency, energy, faultsweep)")
+	default:
+		return nil, badField("family", "unknown family %q (throughput, blend, latency, energy, faultsweep)", q.Family)
+	}
+}
+
+func (q *Request) shape() (topo.TorusShape, error) {
+	s := q.Shape
+	if s == "" {
+		return topo.TorusShape{}, badField("shape", "missing (e.g. \"4x4x2\")")
+	}
+	var kx, ky, kz int
+	if _, err := fmt.Sscanf(s, "%dx%dx%d", &kx, &ky, &kz); err != nil {
+		return topo.TorusShape{}, badField("shape", "bad shape %q (want KxKxK)", s)
+	}
+	shape := topo.Shape3(kx, ky, kz)
+	if err := shape.Validate(); err != nil {
+		return topo.TorusShape{}, badField("shape", "%v", err)
+	}
+	return shape, nil
+}
+
+func (q *Request) pattern() (traffic.Pattern, error) {
+	switch q.Pattern {
+	case "", "uniform":
+		return traffic.Uniform{}, nil
+	case "1-hop":
+		return traffic.NHop{N: 1}, nil
+	case "2-hop":
+		return traffic.NHop{N: 2}, nil
+	case "tornado":
+		return traffic.Tornado(), nil
+	case "reverse-tornado":
+		return traffic.ReverseTornado(), nil
+	case "bit-complement":
+		return traffic.BitComplement(), nil
+	case "nearest-neighbor":
+		return traffic.NearestNeighbor{}, nil
+	}
+	return nil, badField("pattern", "unknown pattern %q", q.Pattern)
+}
+
+// PatternNames lists every pattern name a request accepts (shared with the
+// load generator, which sweeps the full set).
+func PatternNames() []string {
+	return []string{"uniform", "1-hop", "2-hop", "tornado", "reverse-tornado", "bit-complement", "nearest-neighbor"}
+}
+
+func (q *Request) compileThroughput() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := q.pattern()
+	if err != nil {
+		return nil, err
+	}
+	arb := q.Arbiter
+	if arb == "" {
+		arb = "rr"
+	}
+	if arb != "rr" && arb != "iw" {
+		return nil, badField("arbiter", "unknown arbiter %q (rr or iw)", arb)
+	}
+	if len(q.Batches) == 0 {
+		return nil, badField("batches", "missing (e.g. [64, 256])")
+	}
+	if len(q.Batches) > maxSweepPoints {
+		return nil, badField("batches", "%d points exceed the %d-point sweep bound", len(q.Batches), maxSweepPoints)
+	}
+	for _, b := range q.Batches {
+		if b <= 0 {
+			return nil, badField("batches", "batch must be positive, got %d", b)
+		}
+	}
+	spec := exp.NewSpec("serve-throughput").
+		Add("shape", shape).Add("pattern", pat.Name()).Add("arb", arb).Add("batches", intList(q.Batches))
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(q.Batches))
+		for _, b := range q.Batches {
+			// Mirrors anton2bench fig9: default machine, weights from
+			// uniform loads regardless of the measured pattern.
+			mc := machine.DefaultConfig(shape)
+			if arb == "iw" {
+				mc.Arbiter = arbiter.KindInverseWeighted
+			}
+			mc.Telemetry = tel()
+			jobs = append(jobs, core.ThroughputJob(core.ThroughputConfig{
+				Machine:        mc,
+				Pattern:        pat,
+				WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
+				Batch:          b,
+			}))
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func (q *Request) compileBlend() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	var mode core.WeightMode
+	switch q.Weights {
+	case "", "none":
+		mode = core.WeightsNone
+	case "forward":
+		mode = core.WeightsForward
+	case "reverse":
+		mode = core.WeightsReverse
+	case "both":
+		mode = core.WeightsBoth
+	default:
+		return nil, badField("weights", "unknown weight mode %q (none, forward, reverse, both)", q.Weights)
+	}
+	if len(q.Fractions) == 0 {
+		return nil, badField("fractions", "missing (e.g. [0, 0.5, 1])")
+	}
+	if len(q.Fractions) > maxSweepPoints {
+		return nil, badField("fractions", "%d points exceed the %d-point sweep bound", len(q.Fractions), maxSweepPoints)
+	}
+	for _, f := range q.Fractions {
+		if f < 0 || f > 1 || f != f {
+			return nil, badField("fractions", "fraction must be in [0, 1], got %g", f)
+		}
+	}
+	if q.Batch <= 0 {
+		return nil, badField("batch", "must be positive, got %d", q.Batch)
+	}
+	spec := exp.NewSpec("serve-blend").
+		Add("shape", shape).Add("weights", mode).Add("fractions", floatList(q.Fractions)).Add("batch", q.Batch)
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(q.Fractions))
+		for _, f := range q.Fractions {
+			mc := machine.DefaultConfig(shape)
+			mc.Telemetry = tel()
+			jobs = append(jobs, core.BlendJob(core.BlendConfig{
+				Machine:         mc,
+				Weights:         mode,
+				ForwardFraction: f,
+				Batch:           q.Batch,
+			}))
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func (q *Request) compileLatency() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	spec := exp.NewSpec("serve-latency").Add("shape", shape)
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		// Mirrors anton2bench fig11: the calibrated default overheads.
+		lcfg := core.DefaultLatencyConfig(shape)
+		lcfg.Machine.Telemetry = tel()
+		return []exp.Job{core.LatencyJob(lcfg)}
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+// energyRates is the Figure 13 injection-rate sweep.
+var energyRates = [][2]int{{1, 8}, {1, 4}, {1, 2}, {5, 8}, {3, 4}, {7, 8}, {1, 1}}
+
+func (q *Request) compileEnergy() (*compiled, error) {
+	var payload core.PayloadKind
+	switch q.Payload {
+	case "", "zeros":
+		payload = core.PayloadZeros
+	case "ones":
+		payload = core.PayloadOnes
+	case "random":
+		payload = core.PayloadRandom
+	default:
+		return nil, badField("payload", "unknown payload %q (zeros, ones, random)", q.Payload)
+	}
+	flits := q.Flits
+	if flits == 0 {
+		flits = 400
+	}
+	if flits < 0 {
+		return nil, badField("flits", "must be positive, got %d", flits)
+	}
+	spec := exp.NewSpec("serve-energy").Add("payload", payload).Add("flits", flits)
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(energyRates))
+		for _, r := range energyRates {
+			// Mirrors anton2bench fig13: the single-node loop machine.
+			mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
+			mc.Telemetry = tel()
+			jobs = append(jobs, core.EnergyJob(core.EnergyConfig{
+				Machine: mc, Model: power.PaperModel,
+				RateNum: r[0], RateDen: r[1],
+				Payload: payload, Flits: flits,
+			}))
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func (q *Request) compileFaultsweep() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := q.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Rates) == 0 {
+		return nil, badField("rates", "missing (e.g. [0, 0.01, 0.05])")
+	}
+	if len(q.Rates) > maxSweepPoints {
+		return nil, badField("rates", "%d points exceed the %d-point sweep bound", len(q.Rates), maxSweepPoints)
+	}
+	for _, r := range q.Rates {
+		if r < 0 || r > 1 || r != r {
+			return nil, badField("rates", "corruption rate must be in [0, 1], got %g", r)
+		}
+	}
+	if q.Batch <= 0 {
+		return nil, badField("batch", "must be positive, got %d", q.Batch)
+	}
+	var base fault.Spec
+	if q.Fault != "" {
+		base, err = fault.ParseSpec(q.Fault)
+		if err != nil {
+			return nil, badField("fault", "%v", err)
+		}
+	}
+	spec := exp.NewSpec("serve-faultsweep").
+		Add("shape", shape).Add("pattern", pat.Name()).Add("rates", floatList(q.Rates)).
+		Add("batch", q.Batch).Add("fault", base.Canonical())
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(q.Rates))
+		for _, r := range q.Rates {
+			// Mirrors anton2bench faultsweep: the base spec held fixed,
+			// corruption rate swept, fault layer attached even at rate 0.
+			mc := machine.DefaultConfig(shape)
+			mc.Telemetry = tel()
+			fs := base
+			fs.CorruptRate = r
+			mc.Fault = &fs
+			jobs = append(jobs, core.FaultJob(core.FaultConfig{
+				Machine: mc,
+				Pattern: pat,
+				Batch:   q.Batch,
+			}))
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func intList(xs []int) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "|"
+		}
+		s += fmt.Sprint(x)
+	}
+	return s
+}
+
+func floatList(xs []float64) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "|"
+		}
+		s += fmt.Sprintf("%g", x)
+	}
+	return s
+}

@@ -1,0 +1,805 @@
+// Package serve turns the experiment harness into a long-running service:
+// an HTTP/JSON server that accepts experiment specs (the same families
+// anton2bench runs), validates them with the CLI's exit-2 rigor (HTTP 400),
+// collapses identical in-flight submissions onto one simulation through the
+// internal/exp singleflight cache keyed by canonical spec, shards sweep
+// points across the exp worker pool, and returns content-addressed
+// artifacts that are byte-identical to anton2bench's canonical artifacts
+// for the same specs.
+//
+// The result cache has three tiers, checked in order at submission:
+//
+//  1. flight — an identical run is queued or executing; the submission
+//     attaches to it (exactly one simulation runs for N identical POSTs);
+//  2. memory — the in-process artifact cache (an exp.Cache keyed by the
+//     request's canonical spec) already holds the bytes;
+//  3. disk — the persistent Store (content-addressed by spec hash) holds
+//     the artifact from an earlier run or an earlier process; restarts
+//     serve warm specs without re-simulation.
+//
+// Overload degrades with typed responses instead of unbounded queueing: a
+// full admission queue returns 429, a request that cannot start or finish
+// inside its deadline returns 504 (reusing the exp AttemptTimeout/Backoff
+// machinery for per-point bounds), and a draining server returns 503.
+// Live progress streams per run over SSE, fed per completed sweep point by
+// the exp.Options.OnResult hook and per sampling window by the telemetry
+// AfterStep progress hook.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anton2/internal/exp"
+	"anton2/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value plus a Store is serviceable; every
+// bound has a production-shaped default.
+type Config struct {
+	// Store is the persistent artifact + load-table cache (required).
+	Store *Store
+	// Workers bounds concurrently executing runs (default 2).
+	Workers int
+	// PointParallelism is the exp worker-pool size inside one run
+	// (default 1: cross-request concurrency comes from Workers).
+	PointParallelism int
+	// MaxQueue bounds runs waiting for a worker slot; submissions beyond
+	// it are refused with 429 (default 16).
+	MaxQueue int
+	// QueueTimeout bounds one run's wait for a worker slot; expiry fails
+	// the run with 504 (default 30s).
+	QueueTimeout time.Duration
+	// RunTimeout bounds one run's execution; expiry cancels the sweep's
+	// remaining points and fails the run with 504 (default 5m).
+	RunTimeout time.Duration
+	// AttemptTimeout / Backoff / Retries are passed to the exp pool
+	// (per-point attempt deadline and retry policy). AttemptTimeout
+	// defaults to RunTimeout.
+	AttemptTimeout time.Duration
+	Backoff        time.Duration
+	Retries        int
+	// LiveProgress attaches a telemetry progress hook to every simulated
+	// point so SSE clients see cycle-level liveness between point
+	// completions (default on; disable for minimum overhead).
+	NoLiveProgress bool
+	// Logf, when non-nil, receives operational log lines (persistence
+	// failures, drain progress). The default discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.PointParallelism <= 0 {
+		out.PointParallelism = 1
+	}
+	if out.MaxQueue <= 0 {
+		out.MaxQueue = 16
+	}
+	if out.QueueTimeout <= 0 {
+		out.QueueTimeout = 30 * time.Second
+	}
+	if out.RunTimeout <= 0 {
+		out.RunTimeout = 5 * time.Minute
+	}
+	if out.AttemptTimeout <= 0 {
+		out.AttemptTimeout = out.RunTimeout
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Run states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+)
+
+// run is one submission's lifecycle. Identical submissions share one run.
+type run struct {
+	id        string
+	canonical string
+	family    string
+	total     int
+	cache     string // tier that satisfied the submission: "", flight, memory, disk
+
+	done   atomic.Int64  // completed sweep points
+	cycles atomic.Uint64 // simulated cycles (live, via telemetry progress)
+
+	mu       sync.Mutex
+	state    string
+	err      error
+	artifact []byte
+	subs     map[chan struct{}]struct{}
+
+	doneCh chan struct{} // closed on completion or failure
+}
+
+// Event is one progress update, also the status-endpoint body.
+type Event struct {
+	ID     string `json:"id"`
+	Family string `json:"family"`
+	State  string `json:"state"`
+	Done   int64  `json:"done"`
+	Total  int    `json:"total"`
+	Cycles uint64 `json:"cycles"`
+	Cache  string `json:"cache,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (r *run) snapshot() Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev := Event{
+		ID:     r.id,
+		Family: r.family,
+		State:  r.state,
+		Done:   r.done.Load(),
+		Total:  r.total,
+		Cycles: r.cycles.Load(),
+		Cache:  r.cache,
+	}
+	if r.err != nil {
+		ev.Error = r.err.Error()
+	}
+	return ev
+}
+
+// subscribe registers a coalescing notification channel.
+func (r *run) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	r.mu.Lock()
+	if r.subs == nil {
+		r.subs = map[chan struct{}]struct{}{}
+	}
+	r.subs[ch] = struct{}{}
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *run) unsubscribe(ch chan struct{}) {
+	r.mu.Lock()
+	delete(r.subs, ch)
+	r.mu.Unlock()
+}
+
+// notify wakes every subscriber without blocking (channels coalesce).
+func (r *run) notify() {
+	r.mu.Lock()
+	for ch := range r.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *run) currentState() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+func (r *run) setState(state string) {
+	r.mu.Lock()
+	r.state = state
+	r.mu.Unlock()
+	r.notify()
+}
+
+// finish moves the run to a terminal state exactly once.
+func (r *run) finish(state string, artifact []byte, err error) {
+	r.mu.Lock()
+	if r.state == StateCompleted || r.state == StateFailed {
+		r.mu.Unlock()
+		return
+	}
+	r.state = state
+	r.artifact = artifact
+	r.err = err
+	r.mu.Unlock()
+	r.notify()
+	close(r.doneCh)
+}
+
+// Server is the experiment-serving subsystem. Create with NewServer, mount
+// via Handler, stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics Metrics
+
+	// artifacts is the in-process memory tier and request-level
+	// singleflight: canonical request spec -> artifact bytes.
+	artifacts *exp.Cache
+	// points is the point-level singleflight shared by every run, so two
+	// different sweeps overlapping in a point still simulate it once.
+	points *exp.Cache
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	queued int // runs in StateQueued (admission bound)
+
+	slots chan struct{} // worker tokens, cap = Workers
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	draining  atomic.Bool
+	wg        sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// NewServer builds a server, restoring the persistent load-table cache so a
+// warm disk cache skips analytic route enumeration from the first request.
+func NewServer(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	if c.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       c,
+		store:     c.Store,
+		artifacts: exp.NewCache(),
+		points:    exp.NewCache(),
+		runs:      map[string]*run{},
+		slots:     make(chan struct{}, c.Workers),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	if n, err := s.store.RestoreLoads(); err != nil {
+		c.Logf("serve: load-table restore failed: %v", err)
+	} else if n > 0 {
+		c.Logf("serve: restored %d analytic load tables from %s", n, s.store.Dir())
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the live counters (tests and the load generator).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Drain gracefully stops the server: new submissions are refused with 503,
+// queued and executing runs finish, and the call returns when the last one
+// does. If ctx expires first, the remaining runs are cancelled (their
+// waiters get 504-class failures) and Drain returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything immediately and waits for run goroutines.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// Typed overload / lifecycle errors, mapped onto HTTP status codes.
+var (
+	// ErrQueueFull refuses a submission when MaxQueue runs are already
+	// waiting (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQueueTimeout fails a run that waited QueueTimeout without
+	// getting a worker slot (HTTP 504).
+	ErrQueueTimeout = errors.New("serve: timed out waiting for a worker")
+	// ErrRunTimeout fails a run that exceeded RunTimeout (HTTP 504).
+	ErrRunTimeout = errors.New("serve: run exceeded its deadline")
+	// ErrDraining refuses submissions during graceful shutdown (503).
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error struct {
+		Code  int    `json:"code"`
+		Msg   string `json:"msg"`
+		Field string `json:"field,omitempty"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Msg = err.Error()
+	var reqErr *RequestError
+	if errors.As(err, &reqErr) {
+		body.Error.Field = reqErr.Field
+	}
+	writeJSON(w, code, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(v)
+	b = append(b, '\n')
+	w.Write(b)
+}
+
+// Submit validates and admits one request, returning its run. The run may
+// already be complete (memory or disk hit). Typed errors: *RequestError
+// (400), ErrQueueFull (429), ErrDraining (503).
+func (s *Server) Submit(req *Request) (*run, error) {
+	if s.draining.Load() {
+		s.metrics.RejectedGone.Add(1)
+		return nil, ErrDraining
+	}
+	c, err := req.compile()
+	if err != nil {
+		return nil, err
+	}
+	canonical := c.spec.Canonical()
+	id := fmt.Sprintf("%016x", c.spec.Hash())
+	total := len(c.build(func() *telemetry.Options { return nil }))
+
+	s.mu.Lock()
+	if r, ok := s.runs[id]; ok {
+		switch r.currentState() {
+		case StateQueued, StateRunning:
+			s.metrics.HitsFlight.Add(1)
+			s.mu.Unlock()
+			return r, nil
+		case StateCompleted:
+			s.metrics.HitsMemory.Add(1)
+			s.mu.Unlock()
+			return r, nil
+		default:
+			// A failed run (queue timeout, drain, run deadline) is not a
+			// deterministic outcome; replace it with a fresh attempt.
+			delete(s.runs, id)
+		}
+	}
+
+	// Memory tier: the artifact cache may hold bytes even when the run
+	// registry does not (an earlier failed run that still produced them is
+	// impossible — failures Forget — but keep the tier check cheap and
+	// uniform with a plain cache probe via the disk path below).
+	b, onDisk, derr := s.store.LoadArtifact(id)
+	if derr != nil {
+		s.mu.Unlock()
+		return nil, derr
+	}
+	if onDisk {
+		s.metrics.HitsDisk.Add(1)
+		r := s.completedRun(id, canonical, req.Family, b)
+		s.runs[id] = r
+		s.mu.Unlock()
+		return r, nil
+	}
+
+	if s.queued >= s.cfg.MaxQueue {
+		s.metrics.Rejected429.Add(1)
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	r := &run{
+		id:        id,
+		canonical: canonical,
+		family:    req.Family,
+		total:     total,
+		state:     StateQueued,
+		doneCh:    make(chan struct{}),
+	}
+	s.runs[id] = r
+	s.queued++
+	s.metrics.QueueDepth.Store(int64(s.queued))
+	s.metrics.Misses.Add(1)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.execute(r, c)
+	return r, nil
+}
+
+// completedRun registers an already-satisfied run (disk hit).
+func (s *Server) completedRun(id, canonical, family string, artifact []byte) *run {
+	r := &run{
+		id:        id,
+		canonical: canonical,
+		family:    family,
+		state:     StateCompleted,
+		cache:     "disk",
+		artifact:  artifact,
+		doneCh:    make(chan struct{}),
+	}
+	if n := countArtifactPoints(artifact); n > 0 {
+		r.total = n
+		r.done.Store(int64(n))
+	}
+	close(r.doneCh)
+	return r
+}
+
+// countArtifactPoints decodes just enough of an artifact to report its
+// sweep size in status responses.
+func countArtifactPoints(b []byte) int {
+	var probe struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if json.Unmarshal(b, &probe) != nil {
+		return 0
+	}
+	return len(probe.Results)
+}
+
+// execute drives one run to a terminal state: slot acquisition under the
+// queue deadline, the sweep under the run deadline, then persistence.
+func (s *Server) execute(r *run, c *compiled) {
+	defer s.wg.Done()
+	queueTimer := time.NewTimer(s.cfg.QueueTimeout)
+	defer queueTimer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+	case <-queueTimer.C:
+		s.leaveQueue()
+		s.metrics.Rejected504.Add(1)
+		s.metrics.RunsFailed.Add(1)
+		r.finish(StateFailed, nil, ErrQueueTimeout)
+		return
+	case <-s.baseCtx.Done():
+		s.leaveQueue()
+		s.metrics.RunsFailed.Add(1)
+		r.finish(StateFailed, nil, ErrDraining)
+		return
+	}
+	s.leaveQueue()
+	defer func() { <-s.slots }()
+
+	s.metrics.ActiveRuns.Add(1)
+	defer s.metrics.ActiveRuns.Add(-1)
+	s.metrics.RunsStarted.Add(1)
+	r.setState(StateRunning)
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
+	defer cancel()
+
+	val, _, err := s.artifacts.Do(r.canonical, func() (any, error) {
+		return s.simulate(ctx, r, c)
+	})
+	if err != nil {
+		// Non-deterministic failure (deadline, drain): do not let it
+		// stick to the spec's cache slot.
+		s.artifacts.Forget(r.canonical)
+		s.metrics.RunsFailed.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.Rejected504.Add(1)
+			err = fmt.Errorf("%w: %v", ErrRunTimeout, err)
+		}
+		r.finish(StateFailed, nil, err)
+		return
+	}
+	artifact := val.([]byte)
+	s.metrics.RunsCompleted.Add(1)
+	r.finish(StateCompleted, artifact, nil)
+
+	if err := s.store.SaveArtifact(r.id, artifact); err != nil {
+		s.cfg.Logf("serve: persist artifact %s: %v", r.id, err)
+	}
+	if err := s.store.SaveLoads(); err != nil {
+		s.cfg.Logf("serve: persist load tables: %v", err)
+	}
+}
+
+func (s *Server) leaveQueue() {
+	s.mu.Lock()
+	s.queued--
+	s.metrics.QueueDepth.Store(int64(s.queued))
+	s.mu.Unlock()
+}
+
+// simulate runs the sweep and renders the canonical artifact. Cancellation
+// of any point makes the whole computation fail (cancelled points are not
+// deterministic results and must not be persisted).
+func (s *Server) simulate(ctx context.Context, r *run, c *compiled) ([]byte, error) {
+	jobs := c.build(s.pointTelemetry(r))
+	prevs := make([]uint64, len(jobs))
+	rs := exp.RunCtx(ctx, jobs, exp.Options{
+		Name:           "run-" + r.id[:8],
+		Parallelism:    s.cfg.PointParallelism,
+		Cache:          s.points,
+		AttemptTimeout: s.cfg.AttemptTimeout,
+		Backoff:        s.cfg.Backoff,
+		Retries:        s.cfg.Retries,
+		OnResult: func(res exp.Result) {
+			r.done.Add(1)
+			if res.Index < len(prevs) && res.Cycles > prevs[res.Index] {
+				r.cycles.Add(res.Cycles - prevs[res.Index])
+			}
+			switch {
+			case res.Cached:
+				s.metrics.PointsCached.Add(1)
+			default:
+				s.metrics.PointsRun.Add(1)
+			}
+			if res.Err != nil {
+				s.metrics.PointsFailed.Add(1)
+			}
+			s.metrics.SimCycles.Add(res.Cycles)
+			r.notify()
+		},
+	})
+	for _, res := range rs {
+		var cancelled *exp.ErrCancelled
+		if errors.As(res.Err, &cancelled) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, res.Err
+		}
+	}
+	return exp.MarshalCanonical(rs)
+}
+
+// pointTelemetry returns the per-point telemetry factory feeding the run's
+// live cycle counter from the AfterStep window hook. Point index equals
+// build order equals exp.Result.Index, which lets OnResult reconcile the
+// final cycle count against the live tally without double counting.
+func (s *Server) pointTelemetry(r *run) func() *telemetry.Options {
+	if s.cfg.NoLiveProgress {
+		return func() *telemetry.Options { return nil }
+	}
+	seq := 0
+	prevs := &sync.Map{}
+	return func() *telemetry.Options {
+		i := seq
+		seq++
+		return &telemetry.Options{
+			Progress: func(elapsed uint64) {
+				var prev uint64
+				if v, ok := prevs.Load(i); ok {
+					prev = v.(uint64)
+				}
+				if elapsed > prev {
+					r.cycles.Add(elapsed - prev)
+					prevs.Store(i, elapsed)
+					r.notify()
+				}
+			},
+		}
+	}
+}
+
+// lookupRun finds a run by id, falling back to the persistent store so a
+// restarted server still answers status and artifact queries for anything
+// it ever computed.
+func (s *Server) lookupRun(id string) (*run, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if ok {
+		return r, true
+	}
+	if !validID(id) {
+		return nil, false
+	}
+	b, onDisk, err := s.store.LoadArtifact(id)
+	if err != nil || !onDisk {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runs[id]; ok { // raced with a submission
+		return r, true
+	}
+	r = s.completedRun(id, "", "", b)
+	s.runs[id] = r
+	return r, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	q, err := ParseRequest(req.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	r, err := s.Submit(q)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	if req.URL.Query().Get("wait") != "" {
+		s.respondWhenDone(w, req, r)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+r.id)
+	code := http.StatusAccepted
+	if r.snapshot().State == StateCompleted {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, r.snapshot())
+}
+
+// respondWhenDone blocks a wait=1 submission until the run finishes, the
+// client gives up, or the optional timeout_ms expires (504; the run keeps
+// going — a later poll or identical submission picks it up).
+func (s *Server) respondWhenDone(w http.ResponseWriter, req *http.Request, r *run) {
+	var timeout <-chan time.Time
+	if ms := req.URL.Query().Get("timeout_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, &RequestError{Field: "timeout_ms", Msg: "must be a positive integer"})
+			return
+		}
+		t := time.NewTimer(time.Duration(n) * time.Millisecond)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-r.doneCh:
+	case <-req.Context().Done():
+		return
+	case <-timeout:
+		s.metrics.Rejected504.Add(1)
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: run %s still %s after client deadline", r.id, r.snapshot().State))
+		return
+	}
+	s.writeRunArtifact(w, r)
+}
+
+func (s *Server) writeRunArtifact(w http.ResponseWriter, r *run) {
+	ev := r.snapshot()
+	if ev.State == StateFailed {
+		code := http.StatusInternalServerError
+		r.mu.Lock()
+		err := r.err
+		r.mu.Unlock()
+		switch {
+		case errors.Is(err, ErrQueueTimeout), errors.Is(err, ErrRunTimeout):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, ErrDraining):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	r.mu.Lock()
+	artifact := r.artifact
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Anton2-Run-Id", r.id)
+	if ev.Cache != "" {
+		w.Header().Set("X-Anton2-Cache", ev.Cache)
+	}
+	w.Write(artifact)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown run %q", req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.snapshot())
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown run %q", req.PathValue("id")))
+		return
+	}
+	ev := r.snapshot()
+	if ev.State == StateQueued || ev.State == StateRunning {
+		// Not ready: poll-friendly 202 with the live status body.
+		writeJSON(w, http.StatusAccepted, ev)
+		return
+	}
+	s.writeRunArtifact(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cfg.Workers))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.renderText(s.cfg.Workers))
+}
+
+// handleEvents streams run progress as server-sent events: one "progress"
+// event per state change, point completion, or telemetry window, and a
+// final "done" event when the run reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown run %q", req.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := r.subscribe()
+	defer r.unsubscribe(ch)
+
+	send := func(name string) bool {
+		b, _ := json.Marshal(r.snapshot())
+		_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b)
+		fl.Flush()
+		return err == nil
+	}
+	if !send("progress") {
+		return
+	}
+	for {
+		select {
+		case <-r.doneCh:
+			send("done")
+			return
+		case <-ch:
+			if !send("progress") {
+				return
+			}
+		case <-req.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			send("done")
+			return
+		}
+	}
+}

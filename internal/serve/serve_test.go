@@ -1,0 +1,503 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anton2/internal/exp"
+	"anton2/internal/telemetry"
+)
+
+// quickSpec is the cheap faultsweep sweep most tests submit: small torus,
+// two corruption rates, small batch.
+func quickSpec() *Request {
+	return &Request{
+		Family:  "faultsweep",
+		Shape:   "2x2x2",
+		Pattern: "uniform",
+		Rates:   []float64{0, 0.02},
+		Batch:   16,
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postWait(t *testing.T, ts *httptest.Server, req *Request) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs?wait=1", "application/json", bytes.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestArtifactBitIdentical pins the core serving contract: the artifact the
+// server returns is byte-identical to running the same request's jobs
+// directly through the exp pool and canonical marshaller — i.e. identical to
+// what anton2bench produces for the same specs.
+func TestArtifactBitIdentical(t *testing.T) {
+	req := quickSpec()
+	jobs, err := req.Jobs(func() *telemetry.Options { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.MarshalCanonical(exp.Run(jobs, exp.Options{Parallelism: 2, Cache: exp.NewCache()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{})
+	resp, got := postWait(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("server artifact differs from direct canonical artifact\nserver: %d bytes\ndirect: %d bytes", len(got), len(want))
+	}
+	if id := resp.Header.Get("X-Anton2-Run-Id"); !validID(id) {
+		t.Fatalf("X-Anton2-Run-Id = %q, want 16-hex id", id)
+	}
+}
+
+// TestDedupeParallelSubmissions is the N-identical-POSTs acceptance test:
+// exactly one simulation runs and every submitter gets identical bytes.
+func TestDedupeParallelSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	const n = 8
+	req := quickSpec()
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs?wait=1", "application/json", bytes.NewReader(mustJSON(t, req)))
+			if err != nil {
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("submission %d: status %d, body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("submission %d returned different artifact bytes", i)
+		}
+	}
+	if got := s.Metrics().RunsStarted.Load(); got != 1 {
+		t.Fatalf("RunsStarted = %d, want exactly 1 for %d identical submissions", got, n)
+	}
+	if hits := s.Metrics().HitsFlight.Load() + s.Metrics().HitsMemory.Load(); hits != n-1 {
+		t.Fatalf("flight+memory hits = %d, want %d", hits, n-1)
+	}
+	// Both sweep points simulated exactly once across all submissions.
+	if got := s.Metrics().PointsRun.Load(); got != 2 {
+		t.Fatalf("PointsRun = %d, want 2", got)
+	}
+}
+
+// TestColdRestartServesFromDisk is the persistent-cache acceptance test: a
+// fresh server process (same store dir) serves a repeated spec from disk
+// without re-simulation, and /metrics records the disk hit.
+func TestColdRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Config{Store: st})
+	req := quickSpec()
+	resp, warm := postWait(t, ts1, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d, body %s", resp.StatusCode, warm)
+	}
+	ts1.Close()
+	s1.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, "loads.json")); err != nil {
+		t.Fatalf("load-table snapshot not persisted: %v", err)
+	}
+	if n := st.ArtifactCount(); n != 1 {
+		t.Fatalf("artifact count = %d, want 1", n)
+	}
+
+	// "Restart": a brand-new Server over the same directory.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	resp2, cold := postWait(t, ts2, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cold status = %d, body %s", resp2.StatusCode, cold)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("disk-served artifact differs from originally computed artifact")
+	}
+	if got := resp2.Header.Get("X-Anton2-Cache"); got != "disk" {
+		t.Fatalf("X-Anton2-Cache = %q, want disk", got)
+	}
+	if got := s2.Metrics().RunsStarted.Load(); got != 0 {
+		t.Fatalf("RunsStarted = %d after restart, want 0 (no re-simulation)", got)
+	}
+
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), `anton2serve_cache_hits_total{tier="disk"} 1`) {
+		t.Fatalf("/metrics missing disk hit:\n%s", mb)
+	}
+}
+
+// TestValidationRejects maps the CLI's exit-2 cases onto HTTP 400 with the
+// offending field named.
+func TestValidationRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name  string
+		body  string
+		field string
+	}{
+		{"empty", `{}`, "family"},
+		{"unknown family", `{"family":"figure-9000"}`, "family"},
+		{"bad shape", `{"family":"throughput","shape":"4x4","batches":[8]}`, "shape"},
+		{"missing batches", `{"family":"throughput","shape":"2x2x2"}`, "batches"},
+		{"negative batch", `{"family":"faultsweep","shape":"2x2x2","rates":[0],"batch":-1}`, "batch"},
+		{"rate out of range", `{"family":"faultsweep","shape":"2x2x2","rates":[1.5],"batch":8}`, "rates"},
+		{"bad fault spec", `{"family":"faultsweep","shape":"2x2x2","rates":[0],"batch":8,"fault":"bogus=1"}`, "fault"},
+		{"unknown field", `{"family":"latency","shape":"2x2x2","turbo":true}`, ""},
+		{"malformed", `{"family":`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var body errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Error.Field != tc.field {
+				t.Fatalf("error field = %q, want %q (msg: %s)", body.Error.Field, tc.field, body.Error.Msg)
+			}
+		})
+	}
+}
+
+// TestOverloadTyped exercises the bounded queue deterministically by
+// occupying the single worker slot directly: the first submission queues,
+// the second overflows with 429, and queue expiry surfaces as 504.
+func TestOverloadTyped(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:      1,
+		MaxQueue:     1,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	s.slots <- struct{}{} // the worker is "busy"
+	defer func() { <-s.slots }()
+
+	r1, err := s.Submit(quickSpec())
+	if err != nil {
+		t.Fatalf("first submission: %v", err)
+	}
+
+	other := quickSpec()
+	other.Batch = 24 // distinct spec, must queue separately
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(mustJSON(t, other)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d (body %s), want 429", resp.StatusCode, b)
+	}
+	if got := s.Metrics().Rejected429.Load(); got != 1 {
+		t.Fatalf("Rejected429 = %d, want 1", got)
+	}
+
+	// The queued run times out waiting for the slot and fails as 504.
+	select {
+	case <-r1.doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued run never timed out")
+	}
+	aresp, err := http.Get(ts.URL + "/v1/runs/" + r1.id + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out run artifact status = %d (body %s), want 504", aresp.StatusCode, ab)
+	}
+	if got := s.Metrics().Rejected504.Load(); got != 1 {
+		t.Fatalf("Rejected504 = %d, want 1", got)
+	}
+
+	// A failed run is retryable: the same spec admits a fresh run.
+	r2, err := s.Submit(quickSpec())
+	if err != nil {
+		t.Fatalf("resubmission after 504: %v", err)
+	}
+	if r2 == r1 {
+		t.Fatal("resubmission returned the failed run instead of a fresh one")
+	}
+}
+
+// TestWaitTimeoutTyped pins the client-side deadline: a wait=1 submission
+// whose timeout_ms expires gets 504 while the run itself keeps going.
+func TestWaitTimeoutTyped(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.slots <- struct{}{} // hold the worker so the run cannot start
+	released := false
+	defer func() {
+		if !released {
+			<-s.slots
+		}
+	}()
+
+	resp, err := http.Post(ts.URL+"/v1/runs?wait=1&timeout_ms=40", "application/json", bytes.NewReader(mustJSON(t, quickSpec())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (body %s), want 504", resp.StatusCode, b)
+	}
+
+	// Release the worker; the run completes and is then served normally.
+	<-s.slots
+	released = true
+	resp2, body := postWait(t, ts, quickSpec())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d, body %s", resp2.StatusCode, body)
+	}
+}
+
+// TestEventsStream reads the SSE feed end to end: at least one progress
+// event, then a final done event with the completed state and full count.
+func TestEventsStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	r, err := s.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + r.id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var events []Event
+	var kinds []string
+	sc := bufio.NewScanner(resp.Body)
+	kind := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad event payload %q: %v", line, err)
+			}
+			events = append(events, ev)
+			kinds = append(kinds, kind)
+		}
+		if kind == "done" && len(kinds) > 0 && kinds[len(kinds)-1] == "done" {
+			break
+		}
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least initial progress + done", len(events))
+	}
+	last := events[len(events)-1]
+	if kinds[len(kinds)-1] != "done" {
+		t.Fatalf("last event kind = %q, want done", kinds[len(kinds)-1])
+	}
+	if last.State != StateCompleted {
+		t.Fatalf("final state = %q (err %q), want completed", last.State, last.Error)
+	}
+	if last.Done != int64(last.Total) || last.Total != 2 {
+		t.Fatalf("final done/total = %d/%d, want 2/2", last.Done, last.Total)
+	}
+	if last.Cycles == 0 {
+		t.Fatal("final event reports zero simulated cycles")
+	}
+}
+
+// TestDrainGraceful verifies shutdown semantics: in-flight work finishes,
+// new submissions get 503, and /healthz flips to draining.
+func TestDrainGraceful(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	r, err := s.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := r.snapshot().State; got != StateCompleted {
+		t.Fatalf("in-flight run state after drain = %q, want completed", got)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(mustJSON(t, quickSpec())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status = %d, want 503", resp.StatusCode)
+	}
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, h.Body)
+	h.Body.Close()
+	if h.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz status = %d, want 503", h.StatusCode)
+	}
+}
+
+// TestStatusAndArtifactEndpoints covers the poll path: status for a live
+// run, 202 for a pending artifact, 404 for garbage ids.
+func TestStatusAndArtifactEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	r, err := s.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.doneCh
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + r.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ev.ID != r.id || ev.State != StateCompleted {
+		t.Fatalf("status = %+v", ev)
+	}
+
+	for _, id := range []string{"nope", "0123456789abcdef"} {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status for %q = %d, want 404", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestLoadTestSmoke runs the self-load-test small against a live server and
+// sanity-checks the report shape.
+func TestLoadTestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test in -short mode")
+	}
+	_, ts := newTestServer(t, Config{Workers: 4})
+	report, err := LoadTest(LoadTestConfig{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Requests: 24,
+		Batch:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load test errors = %d\n%s", report.Errors, report)
+	}
+	if report.ByStatus[http.StatusOK] != 24 {
+		t.Fatalf("OK count = %d, want 24\n%s", report.ByStatus[http.StatusOK], report)
+	}
+	if report.P50 <= 0 || report.P99 < report.P50 || report.Throughput <= 0 {
+		t.Fatalf("implausible percentiles/throughput: %+v", report)
+	}
+	if report.Metrics["anton2serve_cache_hit_rate"] <= 0 {
+		t.Fatalf("expected repeated draws to produce cache hits\n%s", report)
+	}
+	// Deterministic draw sequence: same seed, same pool order.
+	if report.Distinct != len(loadPool("2x2x2", 8)) {
+		t.Fatalf("distinct = %d", report.Distinct)
+	}
+	_ = fmt.Sprintf("%s", report) // String() must not panic on a full report
+}

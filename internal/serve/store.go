@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"anton2/internal/core"
+)
+
+// Store is the persistent tier of the two-level result cache: canonical
+// sweep artifacts content-addressed by request spec hash, plus a snapshot of
+// the analytic load-table cache, all under one directory:
+//
+//	<dir>/artifacts/<hash>.json   canonical artifact bytes (exp.MarshalCanonical)
+//	<dir>/loads.json              load-table snapshot (core.SnapshotLoads)
+//
+// Artifacts are immutable once written (the same spec always produces the
+// same bytes, a property the bit-identity tests pin), so a Store never
+// invalidates; deleting the directory is the only eviction. Writes go
+// through a temp file + rename, so a crash mid-write never leaves a torn
+// artifact to be served later.
+type Store struct {
+	dir string
+
+	// loadsMu serializes load-snapshot writes (artifact writes need no
+	// lock: distinct names, atomic rename, identical bytes on collision).
+	loadsMu sync.Mutex
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store dir must not be empty")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func validID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) artifactPath(id string) (string, error) {
+	if !validID(id) {
+		return "", fmt.Errorf("serve: bad artifact id %q", id)
+	}
+	return filepath.Join(s.dir, "artifacts", id+".json"), nil
+}
+
+// LoadArtifact returns the cached artifact bytes for id, with ok=false when
+// the store has none.
+func (s *Store) LoadArtifact(id string) ([]byte, bool, error) {
+	path, err := s.artifactPath(id)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: load artifact: %w", err)
+	}
+	return b, true, nil
+}
+
+// SaveArtifact persists the artifact bytes for id atomically.
+func (s *Store) SaveArtifact(id string, b []byte) error {
+	path, err := s.artifactPath(id)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(path, b)
+}
+
+// ArtifactCount reports how many artifacts the store holds (metrics).
+func (s *Store) ArtifactCount() int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "artifacts"))
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}
+
+// SaveLoads snapshots the process-wide analytic load-table cache to disk.
+// Called after each completed run; the snapshot only ever grows, and a
+// concurrent older write can at worst persist a subset (the next run's
+// snapshot catches up).
+func (s *Store) SaveLoads() error {
+	snap, err := core.SnapshotLoads()
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("serve: marshal loads snapshot: %w", err)
+	}
+	s.loadsMu.Lock()
+	defer s.loadsMu.Unlock()
+	return atomicWrite(filepath.Join(s.dir, "loads.json"), b)
+}
+
+// RestoreLoads seeds the process-wide load-table cache from disk, returning
+// how many tables were restored (0 with no error when no snapshot exists).
+func (s *Store) RestoreLoads() (int, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, "loads.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("serve: read loads snapshot: %w", err)
+	}
+	snap := map[string]json.RawMessage{}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return 0, fmt.Errorf("serve: decode loads snapshot: %w", err)
+	}
+	return core.RestoreLoads(snap)
+}
+
+// atomicWrite writes b to path via a same-directory temp file and rename.
+func atomicWrite(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: write %s: %w", filepath.Base(path), err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: write %s: %w", filepath.Base(path), errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
