@@ -88,10 +88,23 @@ const (
 
 // Simulator configuration and machine.
 type (
-	// Config parameterizes a simulated machine.
+	// Config parameterizes a simulated machine. Config.Engine selects the
+	// cycle kernel (EngineActive default, EngineScan reference) and
+	// Config.Shards the goroutine shard count; both are pure scheduling
+	// choices with bit-identical results.
 	Config = machine.Config
 	// Machine is a fully wired simulated network.
 	Machine = machine.Machine
+)
+
+// Cycle-engine selectors for Config.Engine.
+const (
+	// EngineActive is the default active-set scheduler: only components
+	// with pending work tick, and fully idle cycles are skipped.
+	EngineActive = machine.EngineActive
+	// EngineScan is the reference loop ticking every component every
+	// cycle; results are bit-identical to EngineActive, only slower.
+	EngineScan = machine.EngineScan
 )
 
 // DefaultConfig returns the paper-faithful configuration for a shape.
@@ -102,6 +115,30 @@ func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
 
 // CyclesToNS converts 1.5 GHz network cycles to nanoseconds.
 func CyclesToNS(cycles float64) float64 { return machine.CyclesToNS(cycles) }
+
+// Cycle-kernel benchmark (simulator speed, not a paper result).
+type (
+	// KernelConfig describes one cycle-kernel measurement.
+	KernelConfig = core.KernelConfig
+	// KernelResult is one measured cycles/sec point.
+	KernelResult = core.KernelResult
+	// KernelWorkload selects the kernel traffic shape.
+	KernelWorkload = core.KernelWorkload
+)
+
+// Kernel workloads.
+const (
+	// KernelSparse trickles packets between a few distant endpoints —
+	// the active-set scheduler's best case.
+	KernelSparse = core.KernelSparse
+	// KernelSaturated bursts uniform traffic from every core endpoint —
+	// the scheduler's break-even case.
+	KernelSaturated = core.KernelSaturated
+)
+
+// RunKernel measures simulated cycles per wall-clock second for one engine
+// configuration and workload.
+func RunKernel(cfg KernelConfig) (KernelResult, error) { return core.RunKernel(cfg) }
 
 // Observability (attach via Config.Telemetry; never perturbs results).
 type (

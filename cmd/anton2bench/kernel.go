@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"anton2/internal/core"
+	"anton2/internal/machine"
+	"anton2/internal/topo"
+)
+
+// kernelArtifact is the BENCH_7.json schema: raw cycles/sec points plus the
+// host-independent active/scan speedup ratios the CI gate compares. Raw
+// cycles/sec is host-dependent (CPU model, load, core count) and is recorded
+// for context only; the ratio of two engines measured back-to-back in the
+// same process on the same workload is stable, so regressions gate on it.
+type kernelArtifact struct {
+	Name       string              `json:"name"`
+	Go         string              `json:"go"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Results    []core.KernelResult `json:"results"`
+	Speedups   []kernelSpeedup     `json:"speedups"`
+}
+
+// kernelSpeedup is one active-over-scan ratio for a (shape, workload) cell.
+type kernelSpeedup struct {
+	Shape          string  `json:"shape"`
+	Workload       string  `json:"workload"`
+	ActiveOverScan float64 `json:"active_over_scan"`
+}
+
+// kernelEngines are the engine configurations measured per cell. Sharded
+// stepping is included for completeness; on few-core hosts its barrier
+// overhead can make it slower than plain active — the artifact records
+// whatever the host produced.
+var kernelEngines = []struct {
+	name   string
+	mutate func(*machine.Config)
+}{
+	{"scan", func(c *machine.Config) { c.Engine = machine.EngineScan }},
+	{"active", func(c *machine.Config) { c.Engine = machine.EngineActive }},
+	{"active-sharded4", func(c *machine.Config) { c.Shards = 4 }},
+}
+
+// kernelbench measures simulated cycles/sec per engine on the paper-scale
+// shapes and writes the -benchout artifact. With -baseline, it exits with an
+// error if any (shape, workload) active/scan speedup fell more than 15%
+// below the baseline's ratio.
+func kernelbench() error {
+	header("Cycle kernel: simulated cycles/sec by engine",
+		"n/a (simulator performance, not a paper result)")
+	shapes := []topo.TorusShape{topo.Shape3(8, 4, 2), topo.Shape3(8, 8, 8), topo.Shape3(16, 16, 16)}
+	if *quick {
+		shapes = shapes[:1]
+	}
+	workloads := []core.KernelWorkload{core.KernelSparse, core.KernelSaturated}
+
+	art := kernelArtifact{Name: "kernelbench", Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, shape := range shapes {
+		for _, wl := range workloads {
+			perSec := map[string]float64{}
+			for _, eng := range kernelEngines {
+				mc := machine.DefaultConfig(shape)
+				eng.mutate(&mc)
+				r, err := core.RunKernel(core.KernelConfig{Machine: mc, Workload: wl})
+				if err != nil {
+					return fmt.Errorf("kernel %v/%s/%s: %w", shape, wl, eng.name, err)
+				}
+				art.Results = append(art.Results, r)
+				perSec[eng.name] = r.CyclesPerSec
+				fmt.Printf("measured: %-9s %-9s %-15s %9d cycles in %7.3fs = %12.0f cycles/sec\n",
+					r.Shape, r.Workload, eng.name, r.Cycles, r.WallSec, r.CyclesPerSec)
+			}
+			sp := kernelSpeedup{
+				Shape:          fmt.Sprintf("%dx%dx%d", shape.K[0], shape.K[1], shape.K[2]),
+				Workload:       wl.String(),
+				ActiveOverScan: perSec["active"] / perSec["scan"],
+			}
+			art.Speedups = append(art.Speedups, sp)
+			fmt.Printf("          %-9s %-9s active/scan speedup: %.1fx\n", sp.Shape, sp.Workload, sp.ActiveOverScan)
+		}
+	}
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kernelbench: wrote %s\n", *benchOut)
+	}
+	if *baselineFlag != "" {
+		return gateKernel(art, *baselineFlag)
+	}
+	return nil
+}
+
+// gateKernel compares this run's active/scan speedup ratios against a
+// baseline artifact: a cell regresses when its ratio fell below 85% of the
+// baseline's. Cells missing from either side are ignored (the baseline may
+// have been generated at full scale while the gate runs -quick).
+func gateKernel(art kernelArtifact, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kernelbench baseline: %w", err)
+	}
+	var base kernelArtifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("kernelbench baseline %s: %w", path, err)
+	}
+	baseRatio := map[string]float64{}
+	for _, s := range base.Speedups {
+		baseRatio[s.Shape+"/"+s.Workload] = s.ActiveOverScan
+	}
+	var regressions []string
+	compared := 0
+	for _, s := range art.Speedups {
+		want, ok := baseRatio[s.Shape+"/"+s.Workload]
+		if !ok || want <= 0 {
+			continue
+		}
+		compared++
+		if s.ActiveOverScan < 0.85*want {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: speedup %.2fx vs baseline %.2fx (-%.0f%%)",
+					s.Shape, s.Workload, s.ActiveOverScan, want, 100*(1-s.ActiveOverScan/want)))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("kernelbench baseline %s shares no (shape, workload) cells with this run", path)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "kernelbench regression:", r)
+		}
+		return fmt.Errorf("%d of %d speedup cells regressed >15%% against %s", len(regressions), compared, path)
+	}
+	fmt.Printf("baseline: %d speedup cells within 15%% of %s\n", compared, path)
+	return nil
+}

@@ -5,12 +5,34 @@
 // Usage:
 //
 //	anton2bench [-quick] [-parallel N] [-json dir] [-check] [-telemetry dir]
-//	            [-fault corrupt=0.01,...] [-cpuprofile file] [-memprofile file]
-//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|all]
+//	            [-fault corrupt=0.01,...] [-engine active|scan] [-shards N]
+//	            [-shape KxKxK] [-cpuprofile file] [-memprofile file]
+//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|kernelbench|all]
 //
 // Simulation figures also answer to topic aliases: throughput (fig9), blend
 // (fig10), latency (fig11), decomposition (fig12), energy (fig13),
-// robustness (faultsweep).
+// robustness (faultsweep), kernel (kernelbench).
+//
+// -engine selects the cycle kernel: the default active-set scheduler ticks
+// only components with pending work and skips fully idle cycles; -engine
+// scan restores the reference every-component-every-cycle loop. -shards N
+// steps each machine across N goroutine shards with a deterministic
+// phase-barrier merge (requires the active engine; incompatible with -check
+// and -telemetry). All engine configurations produce bit-identical results
+// and artifacts — the flags change simulation speed only and are excluded
+// from result cache keys.
+//
+// The headline saturation sweeps (fig9, fig10) default to the paper's full
+// 8x8x8 (512-node) machine, made tractable by the active-set engine; -shape
+// overrides the scale (e.g. -shape 8x4x2 for the pre-promotion machine).
+//
+// The kernelbench experiment (excluded from `all`) measures the simulator's
+// own speed — simulated cycles/sec per engine on sparse and saturated
+// workloads at 8x4x2, 8x8x8, and 16x16x16 (-quick: 8x4x2 only) — and writes
+// the -benchout artifact (default BENCH_7.json). With -baseline, it exits
+// nonzero if any (shape, workload) active/scan speedup ratio fell more than
+// 15% below the baseline artifact's; CI gates on the ratio because raw
+// cycles/sec is host-dependent.
 //
 // The faultsweep experiment sweeps transient-corruption rate under the
 // internal/fault layer, measuring throughput and delivery-latency quantiles
@@ -83,10 +105,19 @@ var (
 	telemetryDir *string
 	cpuprofile   *string
 	memprofile   *string
+	engineFlag   *string
+	shardsFlag   *int
+	shapeFlag    *string
+	benchOut     *string
+	baselineFlag *string
 
 	// baseFault is the parsed -fault spec; the faultsweep experiment holds
 	// it fixed while sweeping corruption rate.
 	baseFault *fault.Spec
+
+	// satShapeOverride is the parsed -shape value; nil means the default
+	// (8x8x8, or 4x4x2 under -quick).
+	satShapeOverride *topo.TorusShape
 )
 
 func registerFlags(fs *flag.FlagSet) {
@@ -98,6 +129,11 @@ func registerFlags(fs *flag.FlagSet) {
 	telemetryDir = fs.String("telemetry", "", "write per-point telemetry reports and packet traces under this directory")
 	cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the bench process to this file")
 	memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	engineFlag = fs.String("engine", "", "cycle engine: active (default) or scan (the reference every-component-every-cycle loop)")
+	shardsFlag = fs.Int("shards", 0, "step the machine across N goroutine shards (0/1 = serial; requires the active engine)")
+	shapeFlag = fs.String("shape", "", "saturation-experiment torus shape KxKxK (default 8x8x8, or 4x4x2 with -quick)")
+	benchOut = fs.String("benchout", "BENCH_7.json", "kernelbench: write the cycles/sec artifact to this file")
+	baselineFlag = fs.String("baseline", "", "kernelbench: fail if the active/scan speedup ratio regresses >15% against this artifact")
 }
 
 const usageHint = "usage: anton2bench [-quick] [-parallel N] [-json dir] [-check] [-fault k=v,...] [experiment] (run with -h for the full list)"
@@ -106,14 +142,18 @@ const usageHint = "usage: anton2bench [-quick] [-parallel N] [-json dir] [-check
 // invocation, so `all` never re-runs a shared configuration.
 var resultCache = exp.NewCache()
 
-// experiments maps names to runners, in `all` execution order.
+// experiments maps names to runners, in `all` execution order. skipAll
+// entries run only when named explicitly: kernelbench measures the
+// simulator's own speed, not the paper's evaluation.
 var experiments = []struct {
-	name string
-	run  func() error
+	name    string
+	run     func() error
+	skipAll bool
 }{
-	{"fig4", fig4}, {"deadlock", deadlockCheck}, {"fig2", fig2}, {"fig3", fig3},
-	{"table1", table1}, {"table2", table2}, {"fig12", fig12}, {"fig13", fig13},
-	{"fig11", fig11}, {"fig9", fig9}, {"fig10", fig10}, {"faultsweep", faultsweep},
+	{"fig4", fig4, false}, {"deadlock", deadlockCheck, false}, {"fig2", fig2, false}, {"fig3", fig3, false},
+	{"table1", table1, false}, {"table2", table2, false}, {"fig12", fig12, false}, {"fig13", fig13, false},
+	{"fig11", fig11, false}, {"fig9", fig9, false}, {"fig10", fig10, false}, {"faultsweep", faultsweep, false},
+	{"kernelbench", kernelbench, true},
 }
 
 // aliases maps topic names onto figure numbers.
@@ -124,6 +164,7 @@ var aliases = map[string]string{
 	"decomposition": "fig12",
 	"energy":        "fig13",
 	"robustness":    "faultsweep",
+	"kernel":        "kernelbench",
 }
 
 func validNames() []string {
@@ -139,12 +180,27 @@ func validNames() []string {
 	return names
 }
 
-// benchConfig is machine.DefaultConfig plus the -check wiring; every
-// simulated experiment builds its machines through it.
+// benchConfig is machine.DefaultConfig plus the -check/-engine/-shards
+// wiring; every simulated experiment builds its machines through it. Engine
+// and Shards are pure scheduling choices — excluded from experiment cache
+// keys because they cannot change results (the cross-engine differential
+// tests in internal/core pin that).
 func benchConfig(shape topo.TorusShape) machine.Config {
 	mc := machine.DefaultConfig(shape)
 	mc.Check = *checkFlag
+	mc.Engine = *engineFlag
+	mc.Shards = *shardsFlag
 	return mc
+}
+
+// parseShape parses "KxKxK" torus shapes.
+func parseShape(s string) (topo.TorusShape, error) {
+	var kx, ky, kz int
+	if _, err := fmt.Sscanf(s, "%dx%dx%d", &kx, &ky, &kz); err != nil {
+		return topo.TorusShape{}, fmt.Errorf("bad shape %q", s)
+	}
+	shape := topo.Shape3(kx, ky, kz)
+	return shape, shape.Validate()
 }
 
 func main() {
@@ -177,6 +233,25 @@ func run(args []string, stderr io.Writer) int {
 		}
 		baseFault = &spec
 	}
+	switch *engineFlag {
+	case "", machine.EngineScan, machine.EngineActive:
+	default:
+		return reject(fmt.Errorf("unknown engine %q (valid: scan, active)", *engineFlag))
+	}
+	if *shardsFlag < 0 {
+		return reject(fmt.Errorf("shards must be >= 0, got %d", *shardsFlag))
+	}
+	if *shardsFlag > 1 && *engineFlag == machine.EngineScan {
+		return reject(fmt.Errorf("sharded stepping requires the active engine"))
+	}
+	satShapeOverride = nil
+	if *shapeFlag != "" {
+		shape, err := parseShape(*shapeFlag)
+		if err != nil {
+			return reject(err)
+		}
+		satShapeOverride = &shape
+	}
 
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -193,8 +268,12 @@ func run(args []string, stderr io.Writer) int {
 		what = fig
 	}
 	if what == "all" {
-		failed := 0
+		failed, ran := 0, 0
 		for _, e := range experiments {
+			if e.skipAll {
+				continue
+			}
+			ran++
 			if err := e.run(); err != nil {
 				fmt.Fprintf(stderr, "anton2bench: %s failed: %v\n", e.name, err)
 				failed++
@@ -202,7 +281,7 @@ func run(args []string, stderr io.Writer) int {
 			fmt.Println()
 		}
 		if failed > 0 {
-			fmt.Fprintf(stderr, "anton2bench: %d of %d experiments failed\n", failed, len(experiments))
+			fmt.Fprintf(stderr, "anton2bench: %d of %d experiments failed\n", failed, ran)
 			return 1
 		}
 		return 0
@@ -344,11 +423,18 @@ func sweep(name string, jobs []exp.Job) ([]exp.Result, error) {
 	return rs, err
 }
 
+// satShape is the machine for the headline saturation sweeps (fig9, fig10).
+// The default is the paper's full 512-node machine — feasible since the
+// active-set engine made paper-scale stepping cheap; -shape restores the
+// previous 8x4x2 (or any other) scale, and -quick stays small.
 func satShape() topo.TorusShape {
+	if satShapeOverride != nil {
+		return *satShapeOverride
+	}
 	if *quick {
 		return topo.Shape3(4, 4, 2)
 	}
-	return topo.Shape3(8, 4, 2)
+	return topo.Shape3(8, 8, 8)
 }
 
 func header(title, paper string) {

@@ -22,6 +22,10 @@ func TestInvalidFlagsRejected(t *testing.T) {
 		{"malformed spec", []string{"-fault", "corrupt:0.1", "faultsweep"}, "malformed spec"},
 		{"unknown spec key", []string{"-fault", "chaos=1", "faultsweep"}, "unknown spec key"},
 		{"negative parallel", []string{"-parallel", "-2", "fig4"}, "parallel must be >= 0"},
+		{"unknown engine", []string{"-engine", "warp", "fig4"}, "unknown engine"},
+		{"negative shards", []string{"-shards", "-1", "fig4"}, "shards must be >= 0"},
+		{"sharded scan", []string{"-engine", "scan", "-shards", "2", "fig4"}, "requires the active engine"},
+		{"bad shape", []string{"-shape", "8by8", "fig9"}, "bad shape"},
 		{"unknown flag", []string{"-frobnicate"}, ""},
 	}
 	for _, tc := range cases {

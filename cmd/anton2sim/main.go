@@ -7,7 +7,17 @@
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
 //	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir] [-check]
 //	          [-fault corrupt=0.01,stall=0.001,...] [-telemetry dir]
+//	          [-engine active|scan] [-shards N]
 //	          [-cpuprofile file] [-memprofile file]
+//
+// -engine selects the cycle kernel: the default active-set scheduler skips
+// idle components and whole idle cycles; -engine scan restores the
+// reference loop that ticks every component every cycle. -shards N steps
+// the machine across N goroutine shards with a deterministic phase-barrier
+// merge. All three produce bit-identical results and artifacts — the flags
+// change only simulation speed (and are excluded from result cache keys).
+// Sharding requires the active engine and is incompatible with -check and
+// -telemetry.
 //
 // With -check, the run executes under the internal/check invariant suite
 // (flit conservation, credit accounting, VC monotonicity, dimension order);
@@ -80,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		telemetryDir = fs.String("telemetry", "", "write a telemetry report and packet trace under this directory")
 		cpuprofile   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		engineFlag   = fs.String("engine", "", "cycle engine: active (default) or scan (the reference every-component-every-cycle loop)")
+		shardsFlag   = fs.Int("shards", 0, "step the machine across N goroutine shards (0/1 = serial; requires the active engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,6 +140,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		mc.Fault = &spec
 	}
+	switch *engineFlag {
+	case "", machine.EngineScan, machine.EngineActive:
+		mc.Engine = *engineFlag
+	default:
+		return reject(fmt.Errorf("unknown engine %q (valid: scan, active)", *engineFlag))
+	}
+	if *shardsFlag < 0 {
+		return reject(fmt.Errorf("shards must be >= 0, got %d", *shardsFlag))
+	}
+	mc.Shards = *shardsFlag
 	var telReport *telemetry.Report
 	if *telemetryDir != "" {
 		mc.Telemetry = &telemetry.Options{

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anton2/internal/exp"
+	"anton2/internal/fault"
+	"anton2/internal/machine"
+	"anton2/internal/power"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// This file is the cross-engine regression net: every simulated experiment
+// family runs once per engine configuration and the canonical artifacts must
+// be byte-identical. The active-set scheduler and the sharded stepper are
+// pure scheduling changes — if any family's artifact moves by a single byte,
+// the scheduler broke cycle-level determinism. machine.Config.Engine and
+// .Shards are deliberately excluded from exp spec cache keys (addMachine)
+// for exactly this reason: all engines share one seed per point.
+
+// engineVariants are the configurations every family is differenced across.
+// Shards=4 implies the active engine; the scan engine is the reference
+// semantics (tick every component every cycle, registration order).
+var engineVariants = map[string]func(*machine.Config){
+	"scan":     func(c *machine.Config) { c.Engine = machine.EngineScan },
+	"active":   func(c *machine.Config) { c.Engine = machine.EngineActive },
+	"sharded4": func(c *machine.Config) { c.Shards = 4 },
+}
+
+// diffFamily builds each family's jobs once per engine variant and compares
+// canonical artifacts against the scan reference. Each exp.Run gets no
+// cache: a shared cache would serve the second engine the first engine's
+// results and make the test vacuous.
+func diffFamily(t *testing.T, family string, jobs func(mutate func(*machine.Config)) []exp.Job) {
+	t.Helper()
+	canonical := func(name string, mutate func(*machine.Config)) []byte {
+		rs := exp.Run(jobs(mutate), exp.Options{Name: family + "-" + name})
+		if n := exp.Failed(rs); n > 0 {
+			t.Fatalf("%s/%s: %d points failed: %v", family, name, n, exp.FirstErr(rs))
+		}
+		data, err := exp.MarshalCanonical(rs)
+		if err != nil {
+			t.Fatalf("%s/%s: marshal: %v", family, name, err)
+		}
+		return data
+	}
+	ref := canonical("scan", engineVariants["scan"])
+	for name, mutate := range engineVariants {
+		if name == "scan" {
+			continue
+		}
+		name, mutate := name, mutate
+		t.Run(family+"/"+name, func(t *testing.T) {
+			if got := canonical(name, mutate); !bytes.Equal(got, ref) {
+				t.Errorf("%s: %s artifact differs from scan reference\nscan:\n%s\n%s:\n%s",
+					family, name, ref, name, got)
+			}
+		})
+	}
+}
+
+// paperShape is the ISSUE-mandated differential shape: the paper-scale
+// saturation machine (64 nodes), big enough that traffic crosses every
+// torus dimension and shard boundary.
+var paperShape = topo.Shape3(8, 4, 2)
+
+func TestEngineDiffThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine differential sweep is slow")
+	}
+	diffFamily(t, "throughput", func(mutate func(*machine.Config)) []exp.Job {
+		var jobs []exp.Job
+		for _, pat := range []traffic.Pattern{traffic.Uniform{}, traffic.NHop{N: 2}} {
+			mc := machine.DefaultConfig(paperShape)
+			mutate(&mc)
+			jobs = append(jobs, ThroughputJob(ThroughputConfig{
+				Machine:        mc,
+				Pattern:        pat,
+				WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
+				Batch:          8,
+			}))
+		}
+		return jobs
+	})
+}
+
+func TestEngineDiffBlend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine differential sweep is slow")
+	}
+	diffFamily(t, "blend", func(mutate func(*machine.Config)) []exp.Job {
+		var jobs []exp.Job
+		for _, f := range []float64{0, 0.5} {
+			mc := machine.DefaultConfig(paperShape)
+			mutate(&mc)
+			jobs = append(jobs, BlendJob(BlendConfig{
+				Machine:         mc,
+				Weights:         WeightsBoth,
+				ForwardFraction: f,
+				Batch:           8,
+			}))
+		}
+		return jobs
+	})
+}
+
+func TestEngineDiffLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine differential sweep is slow")
+	}
+	diffFamily(t, "latency", func(mutate func(*machine.Config)) []exp.Job {
+		cfg := DefaultLatencyConfig(paperShape)
+		cfg.PingPongs = 2
+		cfg.PairsPerHop = 2
+		cfg.MaxHops = 3
+		mutate(&cfg.Machine)
+		return []exp.Job{LatencyJob(cfg)}
+	})
+}
+
+func TestEngineDiffEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine differential sweep is slow")
+	}
+	// The energy family measures a single node's mesh loop; its natural
+	// machine is 1x1x1 (sharding clamps to the one node, degenerating to
+	// serial — still a valid no-divergence check of the clamp path).
+	diffFamily(t, "energy", func(mutate func(*machine.Config)) []exp.Job {
+		var jobs []exp.Job
+		for _, rate := range [][2]int{{1, 4}, {1, 1}} {
+			mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
+			mutate(&mc)
+			jobs = append(jobs, EnergyJob(EnergyConfig{
+				Machine: mc, Model: power.PaperModel,
+				RateNum: rate[0], RateDen: rate[1],
+				Payload: PayloadRandom, Flits: 200,
+			}))
+		}
+		return jobs
+	})
+}
+
+func TestEngineDiffFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine differential sweep is slow")
+	}
+	diffFamily(t, "faultsweep", func(mutate func(*machine.Config)) []exp.Job {
+		var jobs []exp.Job
+		for _, rate := range []float64{0, 0.02} {
+			mc := machine.DefaultConfig(paperShape)
+			mc.Fault = &fault.Spec{
+				CorruptRate:    rate,
+				StallRate:      0.001,
+				StallCycles:    16,
+				CreditLossRate: 0.01,
+			}
+			mutate(&mc)
+			jobs = append(jobs, FaultJob(FaultConfig{
+				Machine: mc,
+				Pattern: traffic.Uniform{},
+				Batch:   8,
+			}))
+		}
+		return jobs
+	})
+}

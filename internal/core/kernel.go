@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/topo"
+)
+
+// This file is the cycle-kernel benchmark: it measures the simulator's own
+// speed (simulated cycles per wall-clock second), not any property of the
+// modeled network. Two workload shapes bracket the scheduler's operating
+// range: a sparse trickle where almost every component is idle almost every
+// cycle (the active-set scheduler's best case — paper-scale machines spend
+// most of their area waiting), and a saturated uniform burst where nearly
+// every component has work every cycle (the scheduler's break-even case).
+// Both workloads are deterministic, so every engine configuration simulates
+// the exact same cycle count and cycles/sec ratios are apples-to-apples.
+
+// KernelWorkload selects the traffic shape for the cycle-kernel benchmark.
+type KernelWorkload int
+
+// Kernel workloads.
+const (
+	// KernelSparse trickles packets between a few distant endpoint pairs
+	// on a fixed schedule.
+	KernelSparse KernelWorkload = iota
+	// KernelSaturated bursts a batch of uniform-random traffic from every
+	// core endpoint at cycle 0.
+	KernelSaturated
+)
+
+func (w KernelWorkload) String() string {
+	return [...]string{"sparse", "saturated"}[w]
+}
+
+// KernelConfig describes one cycle-kernel measurement.
+type KernelConfig struct {
+	Machine  machine.Config
+	Workload KernelWorkload
+	// Senders is the number of trickling endpoints (sparse; 0 = 8,
+	// clamped to the node count).
+	Senders int
+	// PerSender packets per trickling endpoint (sparse; 0 = 16).
+	PerSender int
+	// Gap is the injection period per sender in cycles (sparse; 0 = 512).
+	Gap uint64
+	// Batch packets per core endpoint (saturated; 0 = 4).
+	Batch int
+	// MaxCycles bounds the run (0 = a generous default).
+	MaxCycles uint64
+}
+
+// KernelResult is one measured kernel point.
+type KernelResult struct {
+	Shape    string  `json:"shape"`
+	Engine   string  `json:"engine"`
+	Shards   int     `json:"shards,omitempty"`
+	Workload string  `json:"workload"`
+	Cycles   uint64  `json:"cycles"`
+	Packets  uint64  `json:"packets"`
+	WallSec  float64 `json:"wall_sec"`
+	// CyclesPerSec is the headline: simulated cycles per wall second.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// engineName renders a config's engine selection for artifacts.
+func engineName(cfg machine.Config) string {
+	name := cfg.Engine
+	if name == "" {
+		name = machine.EngineActive
+	}
+	if cfg.Shards > 1 {
+		name = fmt.Sprintf("%s-sharded%d", name, cfg.Shards)
+	}
+	return name
+}
+
+// RunKernel builds a machine, loads the workload, and measures wall time
+// over the simulation run only (construction and injection excluded).
+func RunKernel(cfg KernelConfig) (KernelResult, error) {
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	tm := m.Topo
+	cores := tm.Chip.CoreEndpoints()
+
+	var total uint64
+	switch cfg.Workload {
+	case KernelSparse:
+		senders, per, gap := cfg.Senders, cfg.PerSender, cfg.Gap
+		if senders == 0 {
+			senders = 8
+		}
+		if senders > tm.NumNodes() {
+			senders = tm.NumNodes()
+		}
+		if per == 0 {
+			per = 16
+		}
+		if gap == 0 {
+			gap = 512
+		}
+		// Spread senders across the torus; each targets the antipodal
+		// node, maximizing hops (and the set of briefly-busy routers).
+		stride := tm.NumNodes() / senders
+		for i := 0; i < senders; i++ {
+			srcNode := i * stride
+			c := tm.Shape.Coord(srcNode)
+			anti := tm.Shape.Wrap(topo.NodeCoord{
+				X: c.X + tm.Shape.K[topo.DimX]/2,
+				Y: c.Y + tm.Shape.K[topo.DimY]/2,
+				Z: c.Z + tm.Shape.K[topo.DimZ]/2,
+			})
+			src := topo.NodeEp{Node: srcNode, Ep: cores[0]}
+			dst := topo.NodeEp{Node: tm.Shape.NodeID(anti), Ep: cores[len(cores)-1]}
+			rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("kernel-sparse-%d", i))
+			for j := 0; j < per; j++ {
+				p := m.MakeRandomPacket(src, dst, route.ClassRequest, 0, rng)
+				p.NotBefore = 1 + uint64(j)*gap
+				m.Endpoint(src).Inject(p)
+				total++
+			}
+		}
+	case KernelSaturated:
+		batch := cfg.Batch
+		if batch == 0 {
+			batch = 4
+		}
+		for n := 0; n < tm.NumNodes(); n++ {
+			for _, ep := range cores {
+				src := topo.NodeEp{Node: n, Ep: ep}
+				rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("kernel-sat-%d-%d", n, ep))
+				for j := 0; j < batch; j++ {
+					var dst topo.NodeEp
+					for {
+						dst = topo.NodeEp{
+							Node: rng.Intn(tm.NumNodes()),
+							Ep:   cores[rng.Intn(len(cores))],
+						}
+						if dst != src {
+							break
+						}
+					}
+					m.Endpoint(src).Inject(m.MakeRandomPacket(src, dst, route.ClassRequest, 0, rng))
+					total++
+				}
+			}
+		}
+	default:
+		return KernelResult{}, fmt.Errorf("core: unknown kernel workload %d", cfg.Workload)
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 8_000_000
+	}
+	start := time.Now()
+	end, err := m.RunUntilDelivered(total, maxCycles)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("core: kernel run (%s): %w", cfg.Workload, err)
+	}
+	return KernelResult{
+		Shape:        fmt.Sprintf("%dx%dx%d", tm.Shape.K[0], tm.Shape.K[1], tm.Shape.K[2]),
+		Engine:       engineName(cfg.Machine),
+		Shards:       cfg.Machine.Shards,
+		Workload:     cfg.Workload.String(),
+		Cycles:       end,
+		Packets:      total,
+		WallSec:      wall,
+		CyclesPerSec: float64(end) / wall,
+	}, nil
+}

@@ -83,6 +83,32 @@ type Channel struct {
 	// utilization reporting). Pkts is the packet analogue.
 	Sent uint64
 	Pkts uint64
+
+	// Active-set bindings: the engine component ids of the two endpoints.
+	// When bound, a send wakes the receiver at the arrival cycle and a
+	// credit return wakes the sender at the credit's arrival cycle, so
+	// sleeping components never miss traffic and — because credits are
+	// absorbed on the same cycle as in scan mode — per-cycle credit
+	// counters stay bit-identical across scheduling modes.
+	recvE, sndE   *sim.Engine
+	recvID, sndID int32
+
+	// deferred: the channel crosses a shard boundary; sends and credit
+	// returns are staged locally and flushed (with their original arrival
+	// cycles) at the phase barrier by the coordinator.
+	deferred    bool
+	stagedPkts  []stagedPkt
+	stagedCreds []stagedCred
+}
+
+type stagedPkt struct {
+	at uint64
+	p  *packet.Packet
+}
+
+type stagedCred struct {
+	at  uint64
+	msg creditMsg
 }
 
 // Config sizes a channel.
@@ -133,6 +159,54 @@ func New(c Config) *Channel {
 		ch.Energy = &EnergyCounters{}
 	}
 	return ch
+}
+
+// BindReceiver registers the receiving component for active-set wakeups:
+// every send wakes it at the packet's arrival cycle.
+func (ch *Channel) BindReceiver(e *sim.Engine, id int) {
+	ch.recvE, ch.recvID = e, int32(id)
+}
+
+// BindSender registers the sending component for active-set wakeups: every
+// credit return wakes it at the credit's arrival cycle.
+func (ch *Channel) BindSender(e *sim.Engine, id int) {
+	ch.sndE, ch.sndID = e, int32(id)
+}
+
+// WakeSender wakes the bound sending component at the given cycle. The fault
+// layer uses it when a credit-resync audit restores sender-side credits
+// outside the normal credit pipe.
+func (ch *Channel) WakeSender(at uint64) {
+	if ch.sndE != nil {
+		ch.sndE.Wake(int(ch.sndID), at)
+	}
+}
+
+// SetDeferred switches the channel to staged delivery for sharded stepping:
+// sends and credit returns buffer locally and FlushStaged applies them at
+// the phase barrier with their original arrival cycles.
+func (ch *Channel) SetDeferred(on bool) { ch.deferred = on }
+
+// FlushStaged moves staged sends and credit returns into the pipes and
+// issues the corresponding wakes. Coordinator-only, at the phase barrier.
+func (ch *Channel) FlushStaged() {
+	for i := range ch.stagedPkts {
+		s := &ch.stagedPkts[i]
+		ch.pkts.SendAt(s.at, s.p)
+		if ch.recvE != nil {
+			ch.recvE.Wake(int(ch.recvID), s.at)
+		}
+		s.p = nil
+	}
+	ch.stagedPkts = ch.stagedPkts[:0]
+	for i := range ch.stagedCreds {
+		s := &ch.stagedCreds[i]
+		ch.credits.SendAt(s.at, s.msg)
+		if ch.sndE != nil {
+			ch.sndE.Wake(int(ch.sndID), s.at)
+		}
+	}
+	ch.stagedCreds = ch.stagedCreds[:0]
 }
 
 // NumVCs returns the channel's physical VC count.
@@ -206,7 +280,14 @@ func (ch *Channel) transmit(now uint64, p *packet.Packet, vc uint8) uint64 {
 	if arrive <= now {
 		arrive = now + 1
 	}
+	if ch.deferred {
+		ch.stagedPkts = append(ch.stagedPkts, stagedPkt{at: arrive, p: p})
+		return arrive
+	}
 	ch.pkts.SendAt(arrive, p)
+	if ch.recvE != nil {
+		ch.recvE.Wake(int(ch.recvID), arrive)
+	}
 	return arrive
 }
 
@@ -238,7 +319,15 @@ func (ch *Channel) ReturnCredit(now uint64, vc uint8, flits uint8) {
 		ch.lost[vc] += int(flits)
 		return
 	}
+	at := now + ch.credits.Latency()
+	if ch.deferred {
+		ch.stagedCreds = append(ch.stagedCreds, stagedCred{at: at, msg: creditMsg{vc: vc, flits: flits}})
+		return
+	}
 	ch.credits.Send(now, creditMsg{vc: vc, flits: flits})
+	if ch.sndE != nil {
+		ch.sndE.Wake(int(ch.sndID), at)
+	}
 }
 
 // EnableCreditLoss installs a credit-drop predicate and allocates the

@@ -143,6 +143,18 @@ func (s *Sender) Tick(now uint64) bool {
 	return true
 }
 
+// Deadline returns the cycle at which Tick would next fire a timeout rewind,
+// given no further acks or sends: lastMove + timeout. It reports false when
+// no timeout is pending (nothing outstanding, a replay in progress, or the
+// sender is dead). An active-set scheduler uses it to let an otherwise-idle
+// adapter sleep without missing its retransmit timer.
+func (s *Sender) Deadline() (uint64, bool) {
+	if s.dead || s.base == s.next || s.retx < s.next {
+		return 0, false
+	}
+	return s.lastMove + s.timeout, true
+}
+
 func (s *Sender) rewind(now uint64) {
 	s.retx = s.base
 	s.attempts++

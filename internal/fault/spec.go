@@ -219,6 +219,25 @@ type Counters struct {
 	Unroutable      uint64 // packets with no failure-avoiding route
 }
 
+// Add accumulates another set of counters into c. The machine layer keeps
+// per-shard counter slots so parallel shards never contend, and sums them
+// with Add when reporting.
+func (c *Counters) Add(o Counters) {
+	c.CorruptInjected += o.CorruptInjected
+	c.CorruptDetected += o.CorruptDetected
+	c.DupsDropped += o.DupsDropped
+	c.Retransmits += o.Retransmits
+	c.Acks += o.Acks
+	c.Nacks += o.Nacks
+	c.Timeouts += o.Timeouts
+	c.StallsInjected += o.StallsInjected
+	c.CreditsDropped += o.CreditsDropped
+	c.CreditsRestored += o.CreditsRestored
+	c.LinksFailed += o.LinksFailed
+	c.Rerouted += o.Rerouted
+	c.Unroutable += o.Unroutable
+}
+
 // Map returns the counters as a name->value map with stable JSON ordering
 // (encoding/json sorts map keys).
 func (c *Counters) Map() map[string]uint64 {

@@ -22,6 +22,9 @@ type ChannelAdapter struct {
 	nodeCoord topo.NodeCoord
 	id        topo.AdapterID
 
+	cid   int   // engine component id
+	shard int32 // owning shard (0 when unsharded)
+
 	fromRouter *fabric.Channel // router -> adapter (mesh side in)
 	toRouter   *fabric.Channel // adapter -> router (mesh side out)
 	torusOut   *fabric.Channel // adapter -> neighbor (serial out)
@@ -67,13 +70,13 @@ func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter 
 		toRouter:   m.chans[m.Topo.IntraChanID(node, ca.ToRouter)],
 		torusOut:   m.chans[m.Topo.TorusChanID(node, id.Dir, id.Slice)],
 		torusIn:    m.chans[m.Topo.TorusChanID(u, id.Dir.Opposite(), id.Slice)],
-		eg:         make([]vcq, tvcs),
-		ing:        make([]vcq, tvcs),
+		eg:         m.arena.takeVCQ(tvcs),
+		ing:        m.arena.takeVCQ(tvcs),
 		outLabel:   "torus out " + id.String(),
 	}
 	a.egArb = m.newArbiter(tvcs, m.adapterWeights(true, id, tvcs))
 	a.inArb = m.newArbiter(tvcs, m.adapterWeights(false, id, tvcs))
-	a.pats = make([]uint8, tvcs)
+	a.pats = m.arena.takePats(tvcs)
 	if m.flt != nil {
 		a.rlOut = m.flt.rlinkFor(a.torusOut.ID)
 		a.rlIn = m.flt.rlinkFor(a.torusIn.ID)
@@ -81,8 +84,43 @@ func newChannelAdapter(m *Machine, node int, id topo.AdapterID) *ChannelAdapter 
 	return a
 }
 
-// Tick implements sim.Component.
+// bind registers the adapter for active-set wakeups: packet arrivals on both
+// receive sides, credit returns on both send sides, and — when the link is
+// reliable — ack/nack control arrivals on the outgoing link's reverse pipe.
+func (a *ChannelAdapter) bind() {
+	a.fromRouter.BindReceiver(a.m.Engine, a.cid)
+	a.torusIn.BindReceiver(a.m.Engine, a.cid)
+	a.toRouter.BindSender(a.m.Engine, a.cid)
+	a.torusOut.BindSender(a.m.Engine, a.cid)
+	if a.rlOut != nil {
+		a.rlOut.sndE, a.rlOut.sndID = a.m.Engine, int32(a.cid)
+	}
+}
+
+// Tick implements sim.Component. In active-set mode the adapter re-arms
+// itself while it has queued packets or a pending replay, and — crucially —
+// schedules a wake at the go-back-N timeout deadline when frames are
+// outstanding, so a sleeping adapter still fires its retransmit timer on
+// exactly the cycle scan mode would.
 func (a *ChannelAdapter) Tick(now uint64) {
+	a.tick(now)
+	e := a.m.Engine
+	if a.queued > 0 {
+		e.Wake(a.cid, now+1)
+		return
+	}
+	if rl := a.rlOut; rl != nil {
+		if _, ok := rl.snd.NeedRetx(); ok {
+			e.Wake(a.cid, now+1)
+			return
+		}
+		if dl, ok := rl.snd.Deadline(); ok {
+			e.Wake(a.cid, dl)
+		}
+	}
+}
+
+func (a *ChannelAdapter) tick(now uint64) {
 	a.torusOut.AbsorbCredits(now)
 	a.toRouter.AbsorbCredits(now)
 	if a.rlOut != nil {
@@ -171,7 +209,7 @@ func (a *ChannelAdapter) Tick(now uint64) {
 			if rl := a.rlOut; rl != nil {
 				corrupt := a.m.flt.inj.CorruptNext(rl.link)
 				if corrupt {
-					a.m.flt.Counters.CorruptInjected++
+					a.m.flt.cnt[a.shard].CorruptInjected++
 				}
 				rl.pushMeta(rl.snd.OnSend(now), outVC, corrupt)
 				rl.win = append(rl.win, winEntry{p: p, vc: outVC})
@@ -181,7 +219,7 @@ func (a *ChannelAdapter) Tick(now uint64) {
 			}
 			p.Tracepoint(a.outLabel, now)
 			a.fromRouter.ReturnCredit(now, uint8(g), p.Size)
-			a.m.Engine.Progress()
+			a.m.Engine.ProgressAt(int(a.shard))
 		}
 	}
 
@@ -249,7 +287,7 @@ func (a *ChannelAdapter) Tick(now uint64) {
 			}
 			a.torusIn.ReturnCredit(now, uint8(g), p.Size)
 		}
-		a.m.Engine.Progress()
+		a.m.Engine.ProgressAt(int(a.shard))
 	}
 }
 
@@ -264,25 +302,25 @@ func (a *ChannelAdapter) acceptFrame(now uint64, p *packet.Packet) bool {
 	flt := a.m.flt
 	mt := rl.popMeta()
 	if mt.corrupt {
-		flt.Counters.CorruptDetected++
+		flt.cnt[a.shard].CorruptDetected++
 	}
 	v := rl.rcv.OnFrame(mt.seq, mt.corrupt)
 	switch {
 	case v.Ack:
-		rl.ctrl.Send(now, linkCtrl{seq: v.Seq})
-		flt.Counters.Acks++
+		rl.sendCtrl(now, linkCtrl{seq: v.Seq})
+		flt.cnt[a.shard].Acks++
 	case v.Nack:
-		rl.ctrl.Send(now, linkCtrl{seq: v.Seq, nack: true})
-		flt.Counters.Nacks++
+		rl.sendCtrl(now, linkCtrl{seq: v.Seq, nack: true})
+		flt.cnt[a.shard].Nacks++
 	}
 	if v.Accept {
 		return true
 	}
 	if !mt.corrupt && mt.seq < rl.rcv.Expected() {
-		flt.Counters.DupsDropped++
+		flt.cnt[a.shard].DupsDropped++
 	}
 	a.torusIn.ReturnCredit(now, mt.vc, p.Size)
-	a.m.Engine.Progress()
+	a.m.Engine.ProgressAt(int(a.shard))
 	return false
 }
 
@@ -306,14 +344,14 @@ func (a *ChannelAdapter) reliableOutTick(now uint64) {
 		}
 		if released > 0 {
 			rl.win = rl.win[:copy(rl.win, rl.win[released:])]
-			a.m.Engine.Progress()
+			a.m.Engine.ProgressAt(int(a.shard))
 		}
 	}
 	if rl.snd.Tick(now) {
-		flt.Counters.Timeouts++
+		flt.cnt[a.shard].Timeouts++
 	}
-	if rl.snd.Dead() && flt.fatal == nil {
-		flt.fatal = &fault.BudgetError{Link: rl.ch.Name, Attempts: rl.snd.Attempts()}
+	if rl.snd.Dead() {
+		flt.setFatalShard(int(a.shard), &fault.BudgetError{Link: rl.ch.Name, Attempts: rl.snd.Attempts()})
 	}
 }
 
@@ -335,13 +373,13 @@ func (a *ChannelAdapter) tryRetransmit(now uint64) bool {
 	flt := a.m.flt
 	corrupt := flt.inj.CorruptNext(rl.link)
 	if corrupt {
-		flt.Counters.CorruptInjected++
+		flt.cnt[a.shard].CorruptInjected++
 	}
 	a.torusOut.Resend(now, ent.p, ent.vc)
 	rl.pushMeta(seq, ent.vc, corrupt)
 	rl.snd.OnRetx()
-	flt.Counters.Retransmits++
-	a.m.Engine.Progress()
+	flt.cnt[a.shard].Retransmits++
+	a.m.Engine.ProgressAt(int(a.shard))
 	return true
 }
 

@@ -110,7 +110,29 @@ type Config struct {
 
 	// Seed makes runs reproducible.
 	Seed uint64
+
+	// Engine selects the cycle-kernel scheduling mode: EngineActive (the
+	// default when empty) ticks only components with scheduled work and
+	// skips fully idle cycles; EngineScan is the legacy
+	// every-component-every-cycle loop, kept as an escape hatch and as the
+	// differential-testing reference. The two produce bit-identical
+	// results, so Engine is excluded from experiment cache keys.
+	Engine string
+
+	// Shards, when > 1, splits the simulation across that many goroutines
+	// (contiguous node ranges) with a deterministic phase-barrier merge;
+	// results stay bit-identical to a serial run. Requires EngineActive and
+	// is incompatible with Check and Telemetry (their hooks assume
+	// single-threaded stepping). Clamped to the node count. Like Engine, it
+	// never changes results and is excluded from cache keys.
+	Shards int
 }
+
+// Engine mode names for Config.Engine.
+const (
+	EngineActive = "active"
+	EngineScan   = "scan"
+)
 
 // DefaultConfig returns the paper-faithful configuration for a torus shape.
 func DefaultConfig(shape topo.TorusShape) Config {

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sync/atomic"
+
 	"anton2/internal/fabric"
 	"anton2/internal/packet"
 	"anton2/internal/route"
@@ -15,6 +17,9 @@ type EndpointAdapter struct {
 	m    *Machine
 	node int
 	ep   int
+
+	cid   int   // engine component id
+	shard int32 // owning shard (0 when unsharded)
 
 	out *fabric.Channel // endpoint -> router
 	in  *fabric.Channel // router -> endpoint
@@ -49,6 +54,13 @@ func newEndpoint(m *Machine, node, ep int) *EndpointAdapter {
 	}
 }
 
+// bind registers the endpoint for active-set wakeups: packet arrivals on the
+// ejection side, credit returns on the injection side.
+func (e *EndpointAdapter) bind() {
+	e.in.BindReceiver(e.m.Engine, e.cid)
+	e.out.BindSender(e.m.Engine, e.cid)
+}
+
 // Inject queues a packet for transmission. The packet's route state must be
 // initialized (Machine.MakePacket does this).
 func (e *EndpointAdapter) Inject(p *packet.Packet) {
@@ -62,7 +74,17 @@ func (e *EndpointAdapter) Inject(p *packet.Packet) {
 		e.sched = nb
 	}
 	e.swq = append(e.swq, p)
-	e.m.injected++
+	if e.m.sharded {
+		// Traffic sources run inside shard workers; the machine-wide
+		// injection count is the one piece of shared state they touch.
+		atomic.AddUint64(&e.m.injected, 1)
+	} else {
+		e.m.injected++
+	}
+	// Wake for the packet's earliest send cycle (clamped by the engine if it
+	// is in the past or mid-step). Covers injections from outside the run
+	// loop — between Run calls the endpoint may hold no other wake.
+	e.m.Engine.Wake(e.cid, p.NotBefore)
 	if e.m.checks != nil {
 		e.m.checks.OnInject(p, p.InjectedAt)
 	}
@@ -74,11 +96,31 @@ func (e *EndpointAdapter) Inject(p *packet.Packet) {
 // Pending returns the number of packets queued for injection.
 func (e *EndpointAdapter) Pending() int { return len(e.swq) - e.head }
 
-// Tick implements sim.Component.
+// Tick implements sim.Component. In active-set mode the endpoint re-arms
+// itself every cycle while a lazy Source is attached (the source must be
+// polled on exactly the cycles scan mode would poll it, so injection
+// timestamps match), and otherwise for the head packet's earliest send cycle.
 func (e *EndpointAdapter) Tick(now uint64) {
+	e.tick(now)
+	if e.Source != nil {
+		e.m.Engine.Wake(e.cid, now+1)
+		return
+	}
+	if e.head < len(e.swq) {
+		at := e.swq[e.head].NotBefore
+		if at <= now {
+			at = now + 1
+		}
+		e.m.Engine.Wake(e.cid, at)
+	}
+}
+
+func (e *EndpointAdapter) tick(now uint64) {
 	e.out.AbsorbCredits(now)
 
-	// Ejection: drain arrivals and return credits.
+	// Ejection: drain arrivals and return credits. Under sharding the
+	// delivery hooks run at the phase barrier (in component-id order, as a
+	// serial step would), because they touch machine-wide state.
 	for {
 		p, ok := e.in.Recv(now)
 		if !ok {
@@ -87,7 +129,11 @@ func (e *EndpointAdapter) Tick(now uint64) {
 		e.in.ReturnCredit(now, p.CurVC, p.Size)
 		p.DeliveredAt = now
 		p.Tracepoint("endpoint deliver", now)
-		e.m.deliver(e, p, now)
+		if e.m.sharded {
+			e.m.pendDeliv[e.shard] = append(e.m.pendDeliv[e.shard], delivEnt{e: e, p: p})
+		} else {
+			e.m.deliver(e, p, now)
+		}
 	}
 
 	// Top up the software queue from the lazy source so the injection
@@ -125,7 +171,7 @@ func (e *EndpointAdapter) Tick(now uint64) {
 		e.m.checks.OnSend(p, e.out, vc, now)
 	}
 	p.Tracepoint("endpoint inject", now)
-	e.m.Engine.Progress()
+	e.m.Engine.ProgressAt(int(e.shard))
 	e.swq[e.head] = nil
 	e.head++
 	if e.head == len(e.swq) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"anton2/internal/fabric"
 	"anton2/internal/fault"
@@ -48,6 +49,13 @@ type winEntry struct {
 	vc uint8
 }
 
+// stagedCtrl is one ack/nack buffered on a shard-crossing link until the
+// phase barrier, with the arrival cycle it would have had if sent directly.
+type stagedCtrl struct {
+	at uint64
+	c  linkCtrl
+}
+
 // rlink is the reliable-link state for one torus channel: the go-back-N
 // sender (owned by the upstream adapter) and receiver (owned by the
 // downstream adapter), the retransmission window, the in-flight frame
@@ -64,10 +72,58 @@ type rlink struct {
 	metaHead int
 
 	ctrl *sim.Pipe[linkCtrl] // receiver -> sender ack/nack channel
+
+	// Active-set binding of the sender adapter, so acks wake it.
+	sndE  *sim.Engine
+	sndID int32
+
+	// deferred: the link crosses a shard boundary; frame metadata and
+	// control messages are staged by the owning shard and flushed at the
+	// phase barrier (in lockstep with the channel's staged packets).
+	deferred  bool
+	metaStage []frameMeta
+	ctrlStage []stagedCtrl
 }
 
 func (rl *rlink) pushMeta(seq uint64, vc uint8, corrupt bool) {
+	if rl.deferred {
+		rl.metaStage = append(rl.metaStage, frameMeta{seq: seq, vc: vc, corrupt: corrupt})
+		return
+	}
 	rl.meta = append(rl.meta, frameMeta{seq: seq, vc: vc, corrupt: corrupt})
+}
+
+// sendCtrl issues one ack/nack toward the sender adapter, waking it at the
+// message's arrival cycle; on shard-crossing links the message is staged for
+// the barrier flush instead.
+func (rl *rlink) sendCtrl(now uint64, c linkCtrl) {
+	at := now + rl.ctrl.Latency()
+	if rl.deferred {
+		rl.ctrlStage = append(rl.ctrlStage, stagedCtrl{at: at, c: c})
+		return
+	}
+	rl.ctrl.Send(now, c)
+	if rl.sndE != nil {
+		rl.sndE.Wake(int(rl.sndID), at)
+	}
+}
+
+// flush moves staged frame metadata and control messages into the live
+// structures. Coordinator-only, at the phase barrier; the channel's staged
+// packets flush in the same barrier, keeping the meta FIFO in lockstep.
+func (rl *rlink) flush() {
+	if len(rl.metaStage) > 0 {
+		rl.meta = append(rl.meta, rl.metaStage...)
+		rl.metaStage = rl.metaStage[:0]
+	}
+	for i := range rl.ctrlStage {
+		s := &rl.ctrlStage[i]
+		rl.ctrl.SendAt(s.at, s.c)
+		if rl.sndE != nil {
+			rl.sndE.Wake(int(rl.sndID), s.at)
+		}
+	}
+	rl.ctrlStage = rl.ctrlStage[:0]
 }
 
 // popMeta pairs the next arriving frame with its metadata. The packet pipe
@@ -104,14 +160,23 @@ func (rl *rlink) quiet() bool {
 }
 
 // faultLayer owns the injector and the per-link reliability state. It is
-// registered as the first engine component so stall transitions and credit
-// resyncs precede all adapter ticks within a cycle.
+// registered as the first engine component — and is the engine's serial
+// prefix under sharding — so stall transitions and credit resyncs precede
+// all adapter ticks within a cycle.
 type faultLayer struct {
 	m    *Machine
 	spec fault.Spec
 	inj  *fault.Injector
+	cid  int // engine component id
 
-	Counters fault.Counters
+	// cnt holds per-shard counter slots so shard workers increment fault
+	// counters without contention: slot s accumulates events observed by
+	// shard s's adapters, and the extra last slot (injSlot) takes
+	// injection-path and coordinator events. counters() sums them.
+	cnt []fault.Counters
+	// recvShard maps a dense torus link index to the shard of its receiving
+	// adapter — the component that evaluates DropCredit for that link.
+	recvShard []int32
 
 	torusBase  int
 	links      []*fabric.Channel // dense torus index -> channel
@@ -119,10 +184,68 @@ type faultLayer struct {
 	failed     map[int]bool      // global channel ids of permanent outages
 	failedList []int             // same, sorted
 
+	// mu guards fatal and the injection counter slot: MakePacket may run on
+	// any shard worker (endpoint traffic sources execute inside Tick).
+	mu sync.Mutex
 	// fatal is set when a link exhausts its retry budget or a destination
 	// becomes unreachable; RunUntilDelivered surfaces it instead of
 	// spinning into the watchdog.
 	fatal error
+	// fatalSh holds each shard's first fatal until the phase barrier. If
+	// several links die in the same cycle, serial stepping keeps the one
+	// from the lowest component id; resolveFatal reproduces that by scanning
+	// the slots in shard order, so the surfaced error does not depend on
+	// worker scheduling.
+	fatalSh []error
+}
+
+// injSlot is the counter slot for injection-path and coordinator events.
+func (f *faultLayer) injSlot() int { return len(f.cnt) - 1 }
+
+// counters sums the per-shard slots into one machine-wide snapshot.
+func (f *faultLayer) counters() fault.Counters {
+	var total fault.Counters
+	for i := range f.cnt {
+		total.Add(f.cnt[i])
+	}
+	return total
+}
+
+// setFatal records the first fatal protocol failure.
+func (f *faultLayer) setFatal(err error) {
+	f.mu.Lock()
+	if f.fatal == nil {
+		f.fatal = err
+	}
+	f.mu.Unlock()
+}
+
+// setFatalShard records a fatal failure observed by one shard's adapters.
+// Unsharded runs set the machine-wide fatal directly (tick order already
+// picks the serial winner); sharded runs stage per shard and resolve at the
+// barrier.
+func (f *faultLayer) setFatalShard(shard int, err error) {
+	if !f.m.sharded {
+		f.setFatal(err)
+		return
+	}
+	if f.fatalSh[shard] == nil {
+		f.fatalSh[shard] = err
+	}
+}
+
+// resolveFatal promotes the lowest-shard staged fatal. Coordinator-only, at
+// the phase barrier.
+func (f *faultLayer) resolveFatal() {
+	if f.fatal != nil {
+		return
+	}
+	for _, e := range f.fatalSh {
+		if e != nil {
+			f.fatal = e
+			return
+		}
+	}
 }
 
 func newFaultLayer(m *Machine, spec fault.Spec) *faultLayer {
@@ -133,6 +256,9 @@ func newFaultLayer(m *Machine, spec fault.Spec) *faultLayer {
 		m:         m,
 		spec:      spec,
 		inj:       fault.NewInjector(spec, m.Cfg.Seed, n),
+		cnt:       make([]fault.Counters, m.shardCount+1),
+		recvShard: make([]int32, n),
+		fatalSh:   make([]error, m.shardCount),
 		torusBase: base,
 		links:     make([]*fabric.Channel, n),
 		rlinks:    make([]*rlink, n),
@@ -146,7 +272,7 @@ func newFaultLayer(m *Machine, spec fault.Spec) *faultLayer {
 		f.failed[ch.ID] = true
 		f.failedList = append(f.failedList, ch.ID)
 		ch.SetStall(math.MaxUint64)
-		f.Counters.LinksFailed++
+		f.cnt[f.injSlot()].LinksFailed++
 	}
 	for i, ch := range f.links {
 		if f.failed[ch.ID] {
@@ -169,7 +295,9 @@ func newFaultLayer(m *Machine, spec fault.Spec) *faultLayer {
 			li := i
 			ch.EnableCreditLoss(func(vc, flits uint8) bool {
 				if f.inj.DropCreditNext(li) {
-					f.Counters.CreditsDropped += uint64(flits)
+					// Credit returns run on the receiving adapter's
+					// shard; its counter slot is contention-free.
+					f.cnt[f.recvShard[li]].CreditsDropped += uint64(flits)
 					return true
 				}
 				return false
@@ -186,7 +314,9 @@ func (f *faultLayer) rlinkFor(chanID int) *rlink {
 }
 
 // Tick implements sim.Component: per-cycle stall transitions and the
-// periodic credit resync audit.
+// periodic credit resync audit. The layer ticks inside the engine's serial
+// prefix, so its effects are visible to adapters in the same cycle — exactly
+// as in scan mode, where it is the first-registered component.
 func (f *faultLayer) Tick(now uint64) {
 	if f.spec.StallRate > 0 {
 		for i, ch := range f.links {
@@ -195,7 +325,7 @@ func (f *faultLayer) Tick(now uint64) {
 			}
 			if f.inj.StallNext(i) {
 				ch.SetStall(now + f.spec.StallCycles)
-				f.Counters.StallsInjected++
+				f.cnt[f.injSlot()].StallsInjected++
 			}
 		}
 	}
@@ -205,9 +335,25 @@ func (f *faultLayer) Tick(now uint64) {
 				continue
 			}
 			if n := ch.RestoreLostCredits(); n > 0 {
-				f.Counters.CreditsRestored += uint64(n)
+				f.cnt[f.injSlot()].CreditsRestored += uint64(n)
+				// The restored credits belong to the channel's sender;
+				// wake it this cycle so it can use them, as it would
+				// when scanned.
+				ch.WakeSender(now)
 			}
 		}
+	}
+	// Self-arm. Stall injection draws once per healthy link per cycle, so
+	// per-cycle draws must continue (this also pins the engine to stepping
+	// every cycle, which is what keeps the draw sequence identical to scan
+	// mode). Credit resync audits only act on ResyncInterval multiples;
+	// corrupt-only and outage-only specs need no coordinator ticks at all —
+	// their draws happen at the adapters' send and credit-return sites.
+	switch {
+	case f.spec.StallRate > 0:
+		f.m.Engine.Wake(f.cid, now+1)
+	case f.spec.CreditLossRate > 0:
+		f.m.Engine.Wake(f.cid, now-now%f.spec.ResyncInterval+f.spec.ResyncInterval)
 	}
 }
 
@@ -250,10 +396,11 @@ func (m *Machine) FaultStatus() *FaultStatus {
 	if m.flt == nil {
 		return nil
 	}
+	c := m.flt.counters()
 	return &FaultStatus{
 		FailedLinks: append([]int(nil), m.flt.failedList...),
-		Counters:    m.flt.Counters,
-		Degraded:    m.flt.Counters.LinksFailed > 0 || m.flt.Counters.Rerouted > 0,
+		Counters:    c,
+		Degraded:    c.LinksFailed > 0 || c.Rerouted > 0,
 		Fatal:       m.flt.fatal,
 	}
 }

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"anton2/internal/arbiter"
 	"anton2/internal/check"
@@ -30,6 +31,20 @@ type Machine struct {
 	pool   []*packet.Packet
 	nextID uint64
 
+	// arena backs the flat SoA hot state of every router and adapter.
+	arena hotArena
+
+	// Sharding state (Cfg.Shards > 1): components are partitioned into
+	// contiguous node ranges ticked by worker goroutines; cross-shard
+	// channel traffic is staged and flushed at the phase barrier, and
+	// deliveries are deferred per shard and applied at the barrier in
+	// component-id order, keeping sharded runs bit-identical to serial.
+	sharded    bool
+	shardCount int
+	nodeShard  []int32
+	allocMu    sync.Mutex // guards pool and nextID across shard workers
+	pendDeliv  [][]delivEnt
+
 	// checks is the attached invariant suite, or nil when Cfg.Check is
 	// false; every hook site guards on nil so disabled checking costs one
 	// predicted branch. tel follows the same discipline for the
@@ -48,6 +63,12 @@ type Node struct {
 	Adapters  [topo.NumChannelAdapters]*ChannelAdapter
 }
 
+// delivEnt is one delivery deferred to the phase barrier of a sharded step.
+type delivEnt struct {
+	e *EndpointAdapter
+	p *packet.Packet
+}
+
 // New builds and wires a machine.
 func New(cfg Config) (*Machine, error) {
 	tm, err := topo.NewMachine(cfg.Shape)
@@ -60,10 +81,33 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Arbiter == arbiter.KindInverseWeighted && cfg.Weights == nil {
 		return nil, fmt.Errorf("machine: inverse-weighted arbitration requires a WeightSet")
 	}
+	mode := sim.ModeActive
+	switch cfg.Engine {
+	case "", EngineActive:
+	case EngineScan:
+		mode = sim.ModeScan
+	default:
+		return nil, fmt.Errorf("machine: unknown engine mode %q (want %q or %q)", cfg.Engine, EngineActive, EngineScan)
+	}
+	shards := cfg.Shards
+	if shards > tm.NumNodes() {
+		shards = tm.NumNodes()
+	}
+	if shards > 1 {
+		if mode != sim.ModeActive {
+			return nil, fmt.Errorf("machine: sharded stepping requires the active engine")
+		}
+		if cfg.Check {
+			return nil, fmt.Errorf("machine: sharded stepping is incompatible with the invariant suite (Check)")
+		}
+		if cfg.Telemetry != nil {
+			return nil, fmt.Errorf("machine: sharded stepping is incompatible with telemetry")
+		}
+	}
 	m := &Machine{
 		Cfg:    cfg,
 		Topo:   tm,
-		Engine: sim.NewEngine(),
+		Engine: sim.NewEngineMode(mode),
 		routeCfg: &route.Config{
 			Machine:  tm,
 			Scheme:   cfg.Scheme,
@@ -72,6 +116,31 @@ func New(cfg Config) (*Machine, error) {
 			ExitSkip: cfg.ExitSkip,
 		},
 	}
+	if shards > 1 {
+		m.sharded = true
+		m.shardCount = shards
+	} else {
+		m.shardCount = 1
+	}
+	// Balanced contiguous node partition: shard s owns nodes
+	// [s*base + min(s, extra), ...); contiguous node ranges mean contiguous
+	// component-id ranges, which is what the engine shards over.
+	m.nodeShard = make([]int32, tm.NumNodes())
+	if m.sharded {
+		base, extra := tm.NumNodes()/shards, tm.NumNodes()%shards
+		n := 0
+		for s := 0; s < shards; s++ {
+			cnt := base
+			if s < extra {
+				cnt++
+			}
+			for i := 0; i < cnt; i++ {
+				m.nodeShard[n] = int32(s)
+				n++
+			}
+		}
+	}
+	m.arena = newArena(m)
 
 	// Channels.
 	m.chans = make([]*fabric.Channel, tm.NumChannels())
@@ -120,25 +189,77 @@ func New(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("machine: %w", err)
 		}
 		m.flt = newFaultLayer(m, *cfg.Fault)
-		m.Engine.Register(m.flt)
+		m.flt.cid = m.Engine.Register(m.flt)
 	}
 
-	// Components, registered in a fixed order for determinism.
+	// Components, registered in a fixed order for determinism; each records
+	// its engine id and shard and binds its channels for active-set wakeups.
 	m.nodes = make([]*Node, tm.NumNodes())
 	for n := 0; n < tm.NumNodes(); n++ {
 		node := &Node{ID: n}
 		m.nodes[n] = node
+		sh := m.nodeShard[n]
 		for ri := 0; ri < topo.NumRouters; ri++ {
-			node.Routers[ri] = newRouter(m, n, topo.RouterCoord(ri))
-			m.Engine.Register(node.Routers[ri])
+			r := newRouter(m, n, topo.RouterCoord(ri))
+			node.Routers[ri] = r
+			r.cid, r.shard = m.Engine.Register(r), sh
+			r.bind()
 		}
 		for ai := 0; ai < topo.NumChannelAdapters; ai++ {
-			node.Adapters[ai] = newChannelAdapter(m, n, topo.AdapterByIndex(ai))
-			m.Engine.Register(node.Adapters[ai])
+			a := newChannelAdapter(m, n, topo.AdapterByIndex(ai))
+			node.Adapters[ai] = a
+			a.cid, a.shard = m.Engine.Register(a), sh
+			a.bind()
 		}
 		for ep := 0; ep < topo.NumEndpoints; ep++ {
-			node.Endpoints[ep] = newEndpoint(m, n, ep)
-			m.Engine.Register(node.Endpoints[ep])
+			e := newEndpoint(m, n, ep)
+			node.Endpoints[ep] = e
+			e.cid, e.shard = m.Engine.Register(e), sh
+			e.bind()
+		}
+	}
+
+	// The fault layer is the serial prefix: it ticks before the rest of the
+	// active set (matching its first-registered position in scan mode), and
+	// its same-cycle effects — stall onsets, credit-resync restores — stay
+	// visible to adapters ticking in the same cycle.
+	prefix := 0
+	if m.flt != nil {
+		prefix = 1
+	}
+	m.Engine.SetSerialPrefix(prefix)
+
+	if m.sharded {
+		perNode := topo.NumRouters + topo.NumChannelAdapters + topo.NumEndpoints
+		ranges := make([]sim.ShardRange, 0, shards)
+		lo := 0
+		for n := 1; n <= tm.NumNodes(); n++ {
+			if n == tm.NumNodes() || m.nodeShard[n] != m.nodeShard[lo] {
+				ranges = append(ranges, sim.ShardRange{Lo: prefix + lo*perNode, Hi: prefix + n*perNode})
+				lo = n
+			}
+		}
+		m.Engine.ConfigureShards(ranges, prefix, m.merge)
+		m.pendDeliv = make([][]delivEnt, shards)
+		// Torus channels whose endpoints land in different shards switch to
+		// staged (barrier-flushed) delivery; everything else stays direct.
+		for n := 0; n < tm.NumNodes(); n++ {
+			for ai := 0; ai < topo.NumChannelAdapters; ai++ {
+				ad := topo.AdapterByIndex(ai)
+				id := tm.TorusChanID(n, ad.Dir, ad.Slice)
+				u := tm.Shape.NodeID(tm.Shape.Neighbor(tm.Shape.Coord(n), ad.Dir))
+				if m.flt != nil {
+					m.flt.recvShard[id-m.flt.torusBase] = m.nodeShard[u]
+				}
+				if m.nodeShard[n] != m.nodeShard[u] {
+					m.chans[id].SetDeferred(true)
+					if m.flt != nil {
+						if rl := m.flt.rlinkFor(id); rl != nil {
+							rl.deferred = true
+						}
+					}
+				}
+			}
 		}
 	}
 
@@ -159,7 +280,10 @@ func New(cfg Config) (*Machine, error) {
 			ScanVCOccupancy: m.scanVCOccupancy,
 		}
 		if m.flt != nil {
-			env.FaultCounters = func() map[string]uint64 { return m.flt.Counters.Map() }
+			env.FaultCounters = func() map[string]uint64 {
+				c := m.flt.counters()
+				return c.Map()
+			}
 		}
 		m.tel = telemetry.NewCollector(env, *cfg.Telemetry)
 	}
@@ -258,13 +382,19 @@ func (m *Machine) MakePacket(src, dst topo.NodeEp, c route.Choices, class route.
 	if m.flt != nil && len(m.flt.failed) > 0 {
 		avoided, rerouted, ok := route.ChoicesAvoiding(m.routeCfg, src, dst, c, class, m.flt.failed)
 		if !ok {
-			m.flt.Counters.Unroutable++
+			// Injection can run on any shard worker (endpoint Sources), so
+			// the injection counter slot and the fatal marker are mutexed.
+			m.flt.mu.Lock()
+			m.flt.cnt[m.flt.injSlot()].Unroutable++
 			if m.flt.fatal == nil {
 				m.flt.fatal = fmt.Errorf("machine: no minimal route from %v to %v avoids the failed links", src, dst)
 			}
+			m.flt.mu.Unlock()
 		} else {
 			if rerouted {
-				m.flt.Counters.Rerouted++
+				m.flt.mu.Lock()
+				m.flt.cnt[m.flt.injSlot()].Rerouted++
+				m.flt.mu.Unlock()
 			}
 			c = avoided
 		}
@@ -283,6 +413,14 @@ func (m *Machine) MakeRandomPacket(src, dst topo.NodeEp, class route.Class, patt
 }
 
 func (m *Machine) alloc() *packet.Packet {
+	// Shard workers allocate concurrently; pool order and packet IDs become
+	// schedule-dependent then, but both are unobservable (checks and
+	// telemetry — the only ID consumers — are disabled under sharding, and
+	// pooled packets are fully Reset on reuse).
+	if m.sharded {
+		m.allocMu.Lock()
+		defer m.allocMu.Unlock()
+	}
 	m.nextID++
 	if n := len(m.pool); n > 0 {
 		p := m.pool[n-1]
@@ -370,7 +508,39 @@ func (m *Machine) free(p *packet.Packet) {
 		m.checks.OnFree(p, m.Engine.Now())
 	}
 	if m.flt == nil {
+		if m.sharded {
+			m.allocMu.Lock()
+			defer m.allocMu.Unlock()
+		}
 		m.pool = append(m.pool, p)
+	}
+}
+
+// merge is the sharded-step barrier hook: flush staged cross-shard channel
+// traffic (packets, credits, link-layer metadata and control messages) with
+// the arrival cycles recorded at send time, then apply deferred deliveries
+// in shard order — which is component-id order, the same order a serial step
+// would have delivered them.
+func (m *Machine) merge(now uint64) {
+	base := m.Topo.NumNodes() * m.Topo.NumIntraChans()
+	for _, ch := range m.chans[base:] {
+		ch.FlushStaged()
+	}
+	if m.flt != nil {
+		for _, rl := range m.flt.rlinks {
+			if rl != nil && rl.deferred {
+				rl.flush()
+			}
+		}
+		m.flt.resolveFatal()
+	}
+	for si := range m.pendDeliv {
+		pd := m.pendDeliv[si]
+		for i := range pd {
+			m.deliver(pd[i].e, pd[i].p, now)
+			pd[i] = delivEnt{}
+		}
+		m.pendDeliv[si] = pd[:0]
 	}
 }
 

@@ -22,6 +22,11 @@ type Router struct {
 	rc        topo.MeshCoord
 	routerID  int
 
+	cid   int   // engine component id
+	shard int32 // owning shard (0 when unsharded)
+
+	// Hot state lives in the machine's flat arena (struct-of-arrays carved
+	// into per-router subslices in component-id order).
 	ports  []routerPort
 	sa1    []arbiter.Arbiter // per input port, over VCs
 	sa2    []arbiter.Arbiter // per output port, over input ports
@@ -46,24 +51,24 @@ func newRouter(m *Machine, node int, rc topo.MeshCoord) *Router {
 		nodeCoord: m.Topo.Shape.Coord(node),
 		rc:        rc,
 		routerID:  topo.RouterID(rc),
-		ports:     make([]routerPort, len(cr.Ports)),
+		ports:     m.arena.takePorts(len(cr.Ports)),
 		sa1:       make([]arbiter.Arbiter, len(cr.Ports)),
 		sa2:       make([]arbiter.Arbiter, len(cr.Ports)),
-		inBusy:    make([]uint64, len(cr.Ports)),
-		cand:      make([]int8, len(cr.Ports)),
+		inBusy:    m.arena.takeBusy(len(cr.Ports)),
+		cand:      m.arena.takeCand(len(cr.Ports)),
 	}
 	maxVCScratch := route.MaxTotalVCs(m.Cfg.Scheme)
 	if maxVCScratch < len(cr.Ports) {
 		maxVCScratch = len(cr.Ports)
 	}
-	r.pats = make([]uint8, maxVCScratch)
+	r.pats = m.arena.takePats(maxVCScratch)
 	maxVC := route.MaxTotalVCs(m.Cfg.Scheme)
 	for pi := range cr.Ports {
 		p := &cr.Ports[pi]
 		r.ports[pi] = routerPort{
 			in:  m.chans[m.Topo.IntraChanID(node, p.InChan)],
 			out: m.chans[m.Topo.IntraChanID(node, p.OutChan)],
-			vcs: make([]vcq, maxVC),
+			vcs: m.arena.takeVCQ(maxVC),
 		}
 		r.sa1[pi] = m.newArbiter(maxVC, m.sa1Weights(r.routerID, pi, maxVC))
 		r.sa2[pi] = m.newArbiter(len(cr.Ports), m.sa2Weights(r.routerID, pi, len(cr.Ports)))
@@ -71,8 +76,26 @@ func newRouter(m *Machine, node int, rc topo.MeshCoord) *Router {
 	return r
 }
 
-// Tick implements sim.Component.
+// bind registers the router for active-set wakeups on all its channels:
+// packet arrivals on the input side, credit returns on the output side.
+func (r *Router) bind() {
+	for pi := range r.ports {
+		r.ports[pi].in.BindReceiver(r.m.Engine, r.cid)
+		r.ports[pi].out.BindSender(r.m.Engine, r.cid)
+	}
+}
+
+// Tick implements sim.Component. In active-set mode the router re-arms
+// itself for the next cycle whenever packets remain queued; all other wake
+// sources (arrivals, credit returns) come from the channel bindings.
 func (r *Router) Tick(now uint64) {
+	r.tick(now)
+	if r.queued > 0 {
+		r.m.Engine.Wake(r.cid, now+1)
+	}
+}
+
+func (r *Router) tick(now uint64) {
 	// Absorb credits and arrivals.
 	for pi := range r.ports {
 		ps := &r.ports[pi]
@@ -157,7 +180,7 @@ func (r *Router) Tick(now uint64) {
 		}
 		r.ports[pi].in.ReturnCredit(now, vci, p.Size)
 		r.inBusy[pi] = now + uint64(p.Size)
-		r.m.Engine.Progress()
+		r.m.Engine.ProgressAt(int(r.shard))
 	}
 }
 

@@ -5,9 +5,22 @@
 //
 // One simulated cycle corresponds to one on-chip network clock period
 // (1/1.5 GHz in the Anton 2 configuration).
+//
+// The engine runs in one of two scheduling modes. ModeScan is the classic
+// loop: every registered component is ticked every cycle. ModeActive is an
+// active-set scheduler: components are ticked only on cycles for which they
+// (or the channels they are bound to) requested a wakeup via Wake, so
+// quiescent components cost zero work. Because every inter-component path
+// has latency >= 1 and an idle tick is a no-op, a spurious wake can never
+// change simulation dynamics — ModeScan is simply the maximal-wake schedule —
+// so correctness of ModeActive reduces to wake *completeness*, which the
+// differential scan-vs-active test suite pins.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Component is anything ticked once per simulated cycle.
 type Component interface {
@@ -17,17 +30,62 @@ type Component interface {
 	Tick(now uint64)
 }
 
+// Mode selects the engine's scheduling strategy.
+type Mode uint8
+
+const (
+	// ModeScan ticks every component every cycle (the legacy loop, kept as
+	// an escape hatch and as the differential-testing reference).
+	ModeScan Mode = iota
+	// ModeActive ticks only components scheduled via Wake, and lets
+	// Run/RunUntil jump over cycles in which nothing is scheduled.
+	ModeActive
+)
+
+// ShardRange is a half-open range [Lo, Hi) of component ids ticked by one
+// shard worker during the parallel phase of a sharded step.
+type ShardRange struct{ Lo, Hi int }
+
+// progSlot is one padded per-shard progress counter; padding keeps shard
+// workers from false-sharing the counters they bump on every flit transfer.
+type progSlot struct {
+	v uint64
+	_ [7]uint64
+}
+
 // Engine drives a set of components through simulated time.
 type Engine struct {
-	now      uint64
-	comps    []Component
-	progress uint64 // bumped by components via Progress(); used by watchdog
+	now   uint64
+	comps []Component
+	mode  Mode
+
+	// progress is bumped by components via Progress/ProgressAt; the RunUntil
+	// watchdog sums the slots. Slot 0 exists always; sharding adds one slot
+	// per shard so workers never contend on a shared counter.
+	progress []progSlot
+
+	wheel    wheel
+	stepping bool // inside Step: wakes for the current cycle defer to now+1
+	par      bool // inside the parallel phase: Wake must use atomic bit-sets
+
+	shards       []ShardRange
+	serialPrefix int
+	wg           sync.WaitGroup
+	// OnMerge, when non-nil, runs after the parallel phase of every sharded
+	// step that ticked at least one component, with the barrier still held
+	// (no workers running). The machine layer uses it to flush staged
+	// cross-shard channel sends and apply deferred deliveries in component-id
+	// order, which is what makes sharded runs bit-identical to serial ones.
+	OnMerge func(now uint64)
 
 	// AfterStep, when non-nil, is invoked at the end of every Step with the
 	// cycle that just completed (after all components ticked, before the
 	// clock advances). The invariant-checking layer hangs its per-cycle
 	// scans off this hook; when nil the engine pays a single predicted
-	// branch per cycle.
+	// branch per cycle. Installing AfterStep also disables cycle jumping in
+	// Run/RunUntil: the hook observes every cycle, including idle ones, so
+	// telemetry window boundaries land on exactly the same cycle counts in
+	// every mode.
 	AfterStep func(now uint64)
 
 	// DeadlockDetail, when non-nil, is called once when the RunUntil
@@ -37,25 +95,112 @@ type Engine struct {
 	DeadlockDetail func() string
 }
 
-// NewEngine returns an empty engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at cycle 0 in ModeScan.
+func NewEngine() *Engine { return NewEngineMode(ModeScan) }
 
-// Register adds a component to the tick list. Components are ticked in
-// registration order, which—combined with latency-1 pipes—keeps runs
-// deterministic.
-func (e *Engine) Register(c Component) { e.comps = append(e.comps, c) }
+// NewEngineMode returns an empty engine at cycle 0 in the given mode.
+func NewEngineMode(m Mode) *Engine {
+	e := &Engine{mode: m, progress: make([]progSlot, 1)}
+	if m == ModeActive {
+		e.wheel.init()
+	}
+	return e
+}
+
+// Mode reports the engine's scheduling mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Register adds a component to the tick list and returns its component id.
+// Components are ticked in component-id order within a cycle, which—combined
+// with latency-1 pipes—keeps runs deterministic. In ModeActive the component
+// receives an initial wake at the current cycle; afterwards it is ticked only
+// on cycles it (or a channel bound to it) scheduled via Wake.
+func (e *Engine) Register(c Component) int {
+	id := len(e.comps)
+	e.comps = append(e.comps, c)
+	if e.mode == ModeActive {
+		e.wheel.grow(len(e.comps))
+		e.Wake(id, e.now)
+	}
+	return id
+}
+
+// SetSerialPrefix marks components with id < n as the serial prefix: they
+// are ticked by the coordinator before the rest of the cycle's active set,
+// and — uniquely — wakes they issue for the current cycle take effect in the
+// current cycle (targets must have ids >= n). The machine layer puts its
+// fault layer here so that e.g. a credit-resync audit at cycle t unblocks a
+// sender at cycle t, exactly as in scan mode where the fault layer is
+// registered (and therefore ticked) first.
+func (e *Engine) SetSerialPrefix(n int) { e.serialPrefix = n }
+
+// ConfigureShards splits the component-id space for sharded stepping.
+// Components with id < serialPrefix are ticked by the coordinator before the
+// parallel phase (in id order); each range is then ticked by its own worker
+// goroutine; merge (may be nil) runs at the barrier. Ranges must be sorted,
+// disjoint, and cover [serialPrefix, len(comps)). Only valid in ModeActive.
+func (e *Engine) ConfigureShards(ranges []ShardRange, serialPrefix int, merge func(now uint64)) {
+	if e.mode != ModeActive {
+		panic("sim: ConfigureShards requires ModeActive")
+	}
+	e.shards = ranges
+	e.serialPrefix = serialPrefix
+	e.OnMerge = merge
+	if n := len(ranges); n > len(e.progress) {
+		e.progress = make([]progSlot, n)
+	}
+}
+
+// Shards reports the configured shard count (0 when stepping serially).
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
 // Progress notes that forward progress (e.g. a packet delivery or a flit
-// transfer) occurred. The deadlock watchdog in RunUntil uses it.
-func (e *Engine) Progress() { e.progress++ }
+// transfer) occurred. The deadlock watchdog in RunUntil uses it. Only the
+// coordinator (or code running outside the parallel phase) may call it;
+// shard workers use ProgressAt with their own slot.
+func (e *Engine) Progress() { e.progress[0].v++ }
+
+// ProgressAt notes forward progress from the given shard. Each shard owns a
+// padded counter, so workers never contend; the watchdog sums all slots.
+func (e *Engine) ProgressAt(shard int) { e.progress[shard].v++ }
+
+func (e *Engine) progressTotal() uint64 {
+	t := uint64(0)
+	for i := range e.progress {
+		t += e.progress[i].v
+	}
+	return t
+}
+
+// Wake schedules component id to be ticked at cycle at (ModeScan ignores it:
+// every component is ticked every cycle anyway). Wakes in the past clamp to
+// the current cycle — or to the next cycle while a step is in progress, so
+// the bucket being drained is never mutated mid-scan. Extra wakes are
+// harmless: an idle tick is a no-op by construction.
+func (e *Engine) Wake(id int, at uint64) {
+	if e.mode != ModeActive {
+		return
+	}
+	if at <= e.now {
+		at = e.now
+		if e.stepping {
+			at++
+		}
+	}
+	e.wheel.set(id, at, e.now, e.par)
+}
 
 // Step advances the simulation by a single cycle.
 func (e *Engine) Step() {
-	for _, c := range e.comps {
-		c.Tick(e.now)
+	if e.mode == ModeScan {
+		for _, c := range e.comps {
+			c.Tick(e.now)
+		}
+	} else {
+		e.stepActive()
 	}
 	if e.AfterStep != nil {
 		e.AfterStep(e.now)
@@ -63,10 +208,119 @@ func (e *Engine) Step() {
 	e.now++
 }
 
-// Run advances the simulation by n cycles.
+// stepActive ticks only the components scheduled for the current cycle. The
+// serial prefix ticks first with same-cycle wakes still honored (its targets
+// have higher ids, in bucket words not yet scanned); for everything after,
+// the stepping flag defers same-cycle wakes to the next cycle so the bucket
+// is never mutated behind the scan.
+func (e *Engine) stepActive() {
+	w := &e.wheel
+	w.drainOverflow(e.now)
+	slot := int(e.now) & wheelMask
+	if w.cnt[slot] == 0 {
+		return
+	}
+	if e.serialPrefix > 0 {
+		e.tickRange(slot, 0, e.serialPrefix)
+	}
+	e.stepping = true
+	if len(e.shards) == 0 {
+		e.tickRange(slot, e.serialPrefix, len(e.comps))
+	} else {
+		e.stepSharded(slot)
+	}
+	e.stepping = false
+	w.clear(slot)
+}
+
+// stepSharded runs the parallel phase of one cycle: one goroutine per shard
+// over its id range (the serial prefix already ticked), then the merge hook
+// at the barrier. Determinism argument: within a cycle, components only push
+// into latency>=1 pipes, so intra-shard tick order (id order, same as
+// serial) is the only order that matters for shard-local state; all
+// cross-shard effects are staged by the machine layer and applied by OnMerge
+// in id order with their original arrival cycles, so the post-barrier state
+// is bit-identical to a serial step.
+func (e *Engine) stepSharded(slot int) {
+	e.par = true
+	for _, s := range e.shards {
+		lo, hi := s.Lo, s.Hi
+		if lo < e.serialPrefix {
+			lo = e.serialPrefix
+		}
+		if lo >= hi {
+			continue
+		}
+		e.wg.Add(1)
+		go func(lo, hi int) {
+			defer e.wg.Done()
+			e.tickRange(slot, lo, hi)
+		}(lo, hi)
+	}
+	e.wg.Wait()
+	e.par = false
+	if e.OnMerge != nil {
+		e.OnMerge(e.now)
+	}
+}
+
+// tickRange ticks every scheduled component with id in [lo, hi).
+func (e *Engine) tickRange(slot, lo, hi int) {
+	words := e.wheel.words[slot]
+	wlo, whi := lo>>6, (hi+63)>>6
+	for wi := wlo; wi < whi; wi++ {
+		bits := words[wi]
+		if bits == 0 {
+			continue
+		}
+		// Mask edge words so a range never ticks a neighbor shard's ids.
+		if wi == wlo && lo&63 != 0 {
+			bits &= ^uint64(0) << (lo & 63)
+		}
+		if wi == whi-1 && hi&63 != 0 {
+			bits &= ^uint64(0) >> (64 - hi&63)
+		}
+		for bits != 0 {
+			id := wi<<6 + trailingZeros64(bits)
+			bits &= bits - 1
+			e.comps[id].Tick(e.now)
+		}
+	}
+}
+
+// canJump reports whether Run/RunUntil may skip idle cycles: only in
+// ModeActive and only when no AfterStep hook is observing every cycle.
+func (e *Engine) canJump() bool { return e.mode == ModeActive && e.AfterStep == nil }
+
+// nextWake returns the earliest cycle >= now with a scheduled component, or
+// ^uint64(0) when nothing is scheduled at all.
+func (e *Engine) nextWake() uint64 {
+	w := &e.wheel
+	w.drainOverflow(e.now)
+	for d := uint64(0); d < wheelBuckets; d++ {
+		if w.cnt[int(e.now+d)&wheelMask] != 0 {
+			return e.now + d
+		}
+	}
+	return w.heapMin
+}
+
+// Run advances the simulation by n cycles. In ModeActive with no AfterStep
+// hook, stretches of cycles with no scheduled component are skipped in one
+// clock jump; the observable end state (component state, Now, progress) is
+// identical to stepping through them, because idle ticks are no-ops.
 func (e *Engine) Run(n uint64) {
 	end := e.now + n
 	for e.now < end {
+		if e.canJump() {
+			if t := e.nextWake(); t > e.now {
+				if t > end {
+					t = end
+				}
+				e.now = t
+				continue
+			}
+		}
 		e.Step()
 	}
 }
@@ -103,24 +357,52 @@ func (e *ErrTimeout) Error() string {
 // RunUntil steps the simulation until done() returns true. It fails with
 // ErrDeadlock if no progress is observed for watchdog cycles, or ErrTimeout
 // after maxCycles. A watchdog of 0 disables deadlock detection.
+//
+// In ModeActive with no AfterStep hook, idle stretches are skipped; jump
+// targets are clamped to the budget end and to the watchdog deadline so the
+// error cycle numbers (ErrTimeout.Cycle, ErrDeadlock.Cycle/LastProgress) are
+// exactly the ones the scan-mode loop would have produced.
 func (e *Engine) RunUntil(done func() bool, maxCycles, watchdog uint64) error {
 	end := e.now + maxCycles
-	lastProgress := e.progress
+	lastProgress := e.progressTotal()
 	lastProgressAt := e.now
+	deadlock := func() error {
+		err := &ErrDeadlock{Cycle: e.now, Window: watchdog, LastProgress: lastProgressAt}
+		if e.DeadlockDetail != nil {
+			err.Detail = e.DeadlockDetail()
+		}
+		return err
+	}
 	for !done() {
 		if e.now >= end {
 			return &ErrTimeout{Cycle: e.now}
 		}
+		if e.canJump() {
+			if t := e.nextWake(); t > e.now {
+				if t > end {
+					t = end
+				}
+				if watchdog != 0 {
+					if dl := lastProgressAt + watchdog; dl < t {
+						t = dl
+					}
+				}
+				e.now = t
+				// The skipped cycles were idle: no component ticked, so no
+				// progress. Fire the watchdog at the same cycle scan mode
+				// would have (lastProgressAt + watchdog).
+				if watchdog != 0 && e.now-lastProgressAt >= watchdog {
+					return deadlock()
+				}
+				continue
+			}
+		}
 		e.Step()
-		if e.progress != lastProgress {
-			lastProgress = e.progress
+		if p := e.progressTotal(); p != lastProgress {
+			lastProgress = p
 			lastProgressAt = e.now
 		} else if watchdog != 0 && e.now-lastProgressAt >= watchdog {
-			err := &ErrDeadlock{Cycle: e.now, Window: watchdog, LastProgress: lastProgressAt}
-			if e.DeadlockDetail != nil {
-				err.Detail = e.DeadlockDetail()
-			}
-			return err
+			return deadlock()
 		}
 	}
 	return nil

@@ -4,6 +4,13 @@ package sim
 // become receivable at cycle t+latency. Pipes are the only sanctioned way for
 // components to exchange state; because latency is at least one cycle, the
 // order in which components tick within a cycle cannot affect results.
+//
+// Active-set contract: a Pipe does no work on idle cycles — polling it when
+// nothing has arrived is a no-op — so under Engine ModeActive the sender side
+// is responsible for waking the receiving component at the arrival cycle of
+// whatever it enqueues (fabric.Channel does this for packets and credits).
+// Skipped idle cycles therefore cannot lose or delay items: arrival times are
+// absolute cycles, not tick counts.
 type Pipe[T any] struct {
 	latency uint64
 	head    int
@@ -72,6 +79,17 @@ func (p *Pipe[T]) Poll(now uint64) (T, bool) {
 		p.head = 0
 	}
 	return v, true
+}
+
+// NextArrival returns the arrival cycle of the oldest undelivered item, if
+// any. Arrival cycles are monotone per pipe (senders serialize), so this is
+// the earliest cycle at which the receiver could make progress — the wake
+// cycle an active-set scheduler needs.
+func (p *Pipe[T]) NextArrival() (uint64, bool) {
+	if p.head >= len(p.q) {
+		return 0, false
+	}
+	return p.q[p.head].at, true
 }
 
 // Empty reports whether the pipe holds no items (arrived or in flight).

@@ -117,3 +117,37 @@ func TestTelemetryBitIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestTelemetryEngineParity: telemetry reports — windowed per-channel flit
+// series, occupancy histograms, grant shares, cycle counts — must be
+// byte-identical between the scan engine and the active-set engine.
+// Installing the collector hooks Engine.AfterStep, which disables idle-cycle
+// jumping, so every sampling window closes on exactly the same cycle in both
+// modes; this test pins that contract end to end through a real workload.
+func TestTelemetryEngineParity(t *testing.T) {
+	report := func(engine string) []byte {
+		dir := t.TempDir()
+		mc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+		mc.Engine = engine
+		mc.Telemetry = &telemetry.Options{
+			WindowCycles: 64, MaxWindows: 4,
+			TracePackets: 2, OccBins: 8,
+			Dir: dir, Name: "parity",
+		}
+		rs := exp.Run([]exp.Job{core.ThroughputJob(core.ThroughputConfig{
+			Machine: mc, Pattern: traffic.Uniform{}, Batch: 4,
+		})}, exp.Serial())
+		if err := exp.FirstErr(rs); err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "parity.json"))
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		return data
+	}
+	scan, active := report(machine.EngineScan), report(machine.EngineActive)
+	if !bytes.Equal(scan, active) {
+		t.Errorf("telemetry reports diverge between engines (%d vs %d bytes)", len(scan), len(active))
+	}
+}
