@@ -7,11 +7,13 @@
 //	anton2bench [-quick] [-parallel N] [-json dir] [-check] [-telemetry dir]
 //	            [-fault corrupt=0.01,...] [-engine active|scan] [-shards N]
 //	            [-shape KxKxK] [-cpuprofile file] [-memprofile file]
-//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|kernelbench|all]
+//	            [-experiment name]
+//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|routecompare|kernelbench|all]
 //
 // Simulation figures also answer to topic aliases: throughput (fig9), blend
 // (fig10), latency (fig11), decomposition (fig12), energy (fig13),
-// robustness (faultsweep), kernel (kernelbench).
+// robustness (faultsweep), routing (routecompare), kernel (kernelbench).
+// -experiment is an alternative spelling of the positional experiment name.
 //
 // -engine selects the cycle kernel: the default active-set scheduler ticks
 // only components with pending work and skips fully idle cycles; -engine
@@ -33,6 +35,14 @@
 // nonzero if any (shape, workload) active/scan speedup ratio fell more than
 // 15% below the baseline artifact's; CI gates on the ratio because raw
 // cycles/sec is host-dependent.
+//
+// The routecompare experiment scores every registered routing strategy
+// head-to-head on one grid: static deadlock verdict, VC provisioning and
+// network-area cost, analytic saturation rate and mean path length, measured
+// throughput and delivery latency, and degradation behavior under permanent
+// link outages (faillinks sweeps up from the healthy machine). Strategies are
+// pluggable — see internal/route.RegisterStrategy — and the strategy name is
+// part of every experiment cache key.
 //
 // The faultsweep experiment sweeps transient-corruption rate under the
 // internal/fault layer, measuring throughput and delivery-latency quantiles
@@ -110,6 +120,7 @@ var (
 	shapeFlag    *string
 	benchOut     *string
 	baselineFlag *string
+	expFlag      *string
 
 	// baseFault is the parsed -fault spec; the faultsweep experiment holds
 	// it fixed while sweeping corruption rate.
@@ -134,6 +145,7 @@ func registerFlags(fs *flag.FlagSet) {
 	shapeFlag = fs.String("shape", "", "saturation-experiment torus shape KxKxK (default 8x8x8, or 4x4x2 with -quick)")
 	benchOut = fs.String("benchout", "BENCH_7.json", "kernelbench: write the cycles/sec artifact to this file")
 	baselineFlag = fs.String("baseline", "", "kernelbench: fail if the active/scan speedup ratio regresses >15% against this artifact")
+	expFlag = fs.String("experiment", "", "experiment to run (same as the positional argument)")
 }
 
 const usageHint = "usage: anton2bench [-quick] [-parallel N] [-json dir] [-check] [-fault k=v,...] [experiment] (run with -h for the full list)"
@@ -153,6 +165,7 @@ var experiments = []struct {
 	{"fig4", fig4, false}, {"deadlock", deadlockCheck, false}, {"fig2", fig2, false}, {"fig3", fig3, false},
 	{"table1", table1, false}, {"table2", table2, false}, {"fig12", fig12, false}, {"fig13", fig13, false},
 	{"fig11", fig11, false}, {"fig9", fig9, false}, {"fig10", fig10, false}, {"faultsweep", faultsweep, false},
+	{"routecompare", routecompare, false},
 	{"kernelbench", kernelbench, true},
 }
 
@@ -164,6 +177,7 @@ var aliases = map[string]string{
 	"decomposition": "fig12",
 	"energy":        "fig13",
 	"robustness":    "faultsweep",
+	"routing":       "routecompare",
 	"kernel":        "kernelbench",
 }
 
@@ -261,7 +275,13 @@ func run(args []string, stderr io.Writer) int {
 	defer stopProfiles()
 
 	what := "all"
+	if *expFlag != "" {
+		what = *expFlag
+	}
 	if fs.NArg() > 0 {
+		if *expFlag != "" && fs.Arg(0) != *expFlag {
+			return reject(fmt.Errorf("both -experiment %q and positional %q given", *expFlag, fs.Arg(0)))
+		}
 		what = fs.Arg(0)
 	}
 	if fig, ok := aliases[what]; ok {
@@ -474,7 +494,16 @@ func fig4() error {
 func deadlockCheck() error {
 	header("Section 2.5: VC schemes", "Anton scheme needs n+1=4 T-group VCs per class (vs 2n=6), deadlock-free")
 	shape := topo.Shape3(4, 4, 4)
-	for _, s := range []route.Scheme{route.AntonScheme{}, route.BaselineScheme{}} {
+	// Every registered strategy must verify acyclic; the deliberately broken
+	// no-dateline scheme (never registered) must be caught, proving the
+	// analyzer has teeth.
+	schemes := make([]route.Scheme, 0, 8)
+	for _, s := range route.Strategies() {
+		schemes = append(schemes, s)
+	}
+	schemes = append(schemes, route.NoDatelineScheme{})
+	var failed []string
+	for _, s := range schemes {
 		cfg := route.NewConfig(topo.MustMachine(shape))
 		cfg.Scheme = s
 		err := deadlock.Verify(cfg, deadlock.Options{})
@@ -482,7 +511,14 @@ func deadlockCheck() error {
 		if err != nil {
 			verdict = "CYCLE FOUND"
 		}
-		fmt.Printf("measured: %-12s T:%d M:%d VCs/class on %v -> %s\n", s.Name(), s.TorusVCs(), s.MeshVCs(), shape, verdict)
+		_, registered := route.StrategyByName(s.Name())
+		if registered == (err != nil) {
+			failed = append(failed, s.Name())
+		}
+		fmt.Printf("measured: %-18s T:%d M:%d VCs/class on %v -> %s\n", s.Name(), s.TorusVCs(), s.MeshVCs(), shape, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("wrong deadlock verdict for: %s", strings.Join(failed, ", "))
 	}
 	return nil
 }
@@ -757,6 +793,61 @@ func fig10() error {
 			fmt.Printf("  %6.3f", r.Value.(core.BlendResult).Normalized)
 		}
 		fmt.Println()
+	}
+	return sweepErr
+}
+
+// routecompare scores every registered routing strategy on one grid:
+// deadlock verdict, VC/area cost, analytic saturation rate and path length,
+// measured throughput and latency, and degradation under permanent link
+// outages. The fault-aware strategy (angara) should absorb the outages
+// un-degraded (routed-native counts) where the static schemes concede a
+// degraded run (emergency reroutes).
+func routecompare() error {
+	header("Routing strategies: head-to-head comparison",
+		"pluggable strategies; n+1 VCs (anton) vs 2n (baseline) vs 1 (vcless turn-restricted) vs fault-aware graph routing (angara)")
+	shape := topo.Shape3(4, 4, 2)
+	batch := 64
+	failLinks := []int{0, 1, 2, 4}
+	if *quick {
+		shape = topo.Shape3(3, 3, 2)
+		batch = 16
+		failLinks = []int{0, 2}
+	}
+	jobs := core.RouteCompareJobs(benchConfig(shape), traffic.Uniform{}, batch, failLinks, 0)
+	rs, sweepErr := sweep("routecompare", jobs)
+
+	fmt.Printf("measured: %-12s %5s %14s %5s %6s %6s %6s %10s %9s %8s %8s %7s\n",
+		"strategy", "fail", "deadlock", "tvcs", "area", "hops", "thpt", "pkts/kcyc", "mean lat", "p99 lat", "reroute", "outcome")
+	last := ""
+	for _, r := range rs {
+		if r.Err != nil {
+			fmt.Printf("          %-12s FAILED: %v\n", last, r.Err)
+			continue
+		}
+		pt := r.Value.(core.RouteComparePoint)
+		if pt.Strategy != last && last != "" {
+			fmt.Println()
+		}
+		last = pt.Strategy
+		verdict := "-"
+		if pt.DeadlockVerified {
+			verdict = "CYCLE FOUND"
+			if pt.DeadlockFree {
+				verdict = "deadlock-free"
+			}
+		}
+		outcome := "ok"
+		if pt.DegradedRun {
+			outcome = "degraded"
+		}
+		reroute := fmt.Sprintf("%d", pt.Rerouted)
+		if pt.RoutedNative > 0 {
+			reroute = fmt.Sprintf("%dn", pt.RoutedNative)
+		}
+		fmt.Printf("          %-12s %5d %14s %5d %6.3f %6.2f %6.3f %10.2f %9.1f %8.0f %8s %7s\n",
+			pt.Strategy, pt.FailLinks, verdict, pt.TorusVCs, pt.AreaVsAnton, pt.MeanTorusHops,
+			pt.Throughput, pt.PacketsPerKCycle, pt.MeanLatency, pt.P99Latency, reroute, outcome)
 	}
 	return sweepErr
 }

@@ -26,6 +26,7 @@ func TestInvalidFlagsRejected(t *testing.T) {
 		{"negative shards", []string{"-shards", "-1", "fig4"}, "shards must be >= 0"},
 		{"sharded scan", []string{"-engine", "scan", "-shards", "2", "fig4"}, "requires the active engine"},
 		{"bad shape", []string{"-shape", "8by8", "fig9"}, "bad shape"},
+		{"conflicting experiment", []string{"-experiment", "fig4", "fig9"}, "both -experiment"},
 		{"unknown flag", []string{"-frobnicate"}, ""},
 	}
 	for _, tc := range cases {
@@ -93,5 +94,49 @@ func TestQuickFaultsweepArtifact(t *testing.T) {
 		if !strings.Contains(r.Spec, "fault=") {
 			t.Errorf("point %d spec missing fault key: %s", i, r.Spec)
 		}
+	}
+}
+
+// TestQuickRouteCompareArtifact runs the quick strategy comparison through
+// the -experiment flag spelling and checks the canonical artifact scores
+// every registered strategy, with the strategy name keyed into each spec.
+func TestQuickRouteCompareArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var errb bytes.Buffer
+	if code := run([]string{"-quick", "-json", dir, "-experiment", "routecompare"}, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "routecompare.canonical.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Results []struct {
+			Spec  string `json:"spec"`
+			Error string `json:"error"`
+			Value struct {
+				Strategy   string  `json:"strategy"`
+				Throughput float64 `json:"throughput"`
+			} `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[string]bool{}
+	for i, r := range artifact.Results {
+		if r.Error != "" {
+			t.Errorf("point %d failed: %s", i, r.Error)
+		}
+		if r.Value.Throughput <= 0 {
+			t.Errorf("point %d has no throughput: %+v", i, r.Value)
+		}
+		if !strings.Contains(r.Spec, "scheme="+r.Value.Strategy) {
+			t.Errorf("point %d spec does not key the strategy %q: %s", i, r.Value.Strategy, r.Spec)
+		}
+		strategies[r.Value.Strategy] = true
+	}
+	if len(strategies) < 4 {
+		t.Errorf("artifact scores %d strategies, want >= 4: %v", len(strategies), strategies)
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	anton2sim [-shape 8x4x2] [-pattern uniform|1-hop|2-hop|tornado|reverse-tornado|bit-complement]
-//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline] [-seed 1] [-json dir] [-check]
+//	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline-2n|vcless|angara] [-seed 1] [-json dir] [-check]
 //	          [-fault corrupt=0.01,stall=0.001,...] [-telemetry dir]
 //	          [-engine active|scan] [-shards N]
 //	          [-cpuprofile file] [-memprofile file]
@@ -53,6 +53,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"anton2/internal/arbiter"
 	"anton2/internal/core"
@@ -65,7 +66,7 @@ import (
 	"anton2/internal/traffic"
 )
 
-const usageHint = "usage: anton2sim [-shape KxKxK] [-pattern name] [-arbiter rr|iw] [-batch N] [-scheme anton|baseline] [-fault k=v,...] (run with -h for the full list)"
+const usageHint = "usage: anton2sim [-shape KxKxK] [-pattern name] [-arbiter rr|iw] [-batch N] [-scheme name] [-fault k=v,...] (run with -h for the full list)"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -82,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patternFlag  = fs.String("pattern", "uniform", "traffic pattern")
 		arbFlag      = fs.String("arbiter", "rr", "arbitration: rr (round-robin) or iw (inverse-weighted)")
 		batch        = fs.Int("batch", 256, "packets per core")
-		schemeFlag   = fs.String("scheme", "anton", "VC scheme: anton (n+1) or baseline (2n)")
+		schemeFlag   = fs.String("scheme", "anton", "routing strategy: any registered name (anton, baseline-2n, vcless, angara; baseline = baseline-2n)")
 		seed         = fs.Uint64("seed", 1, "base random seed (hashed with the config into the run seed)")
 		jsonDir      = fs.String("json", "", "write a JSON result artifact under this directory")
 		checkFlag    = fs.Bool("check", false, "run under the runtime invariant-checking suite")
@@ -117,14 +118,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mc := machine.DefaultConfig(shape)
 	mc.Seed = *seed
 	mc.Check = *checkFlag
-	switch *schemeFlag {
-	case "anton":
-		mc.Scheme = route.AntonScheme{}
-	case "baseline":
-		mc.Scheme = route.BaselineScheme{}
-	default:
-		return reject(fmt.Errorf("unknown scheme %q", *schemeFlag))
+	name := *schemeFlag
+	if name == "baseline" { // historical spelling of baseline-2n
+		name = (route.BaselineScheme{}).Name()
 	}
+	strat, ok := route.StrategyByName(name)
+	if !ok {
+		return reject(fmt.Errorf("unknown scheme %q (registered: %s)", *schemeFlag, strings.Join(route.StrategyNames(), ", ")))
+	}
+	mc.Scheme = strat
 	switch *arbFlag {
 	case "rr":
 		mc.Arbiter = arbiter.KindRoundRobin

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/area"
+	"anton2/internal/deadlock"
+	"anton2/internal/exp"
+	"anton2/internal/fault"
+	"anton2/internal/machine"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/stats"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// The routecompare experiment family scores every registered routing
+// strategy head-to-head: saturation throughput and delivery latency from
+// measurement runs, VC/buffer area cost from the internal/area model, the
+// static deadlock verdict from internal/deadlock, and faultsweep-style
+// degradation behavior under permanent link outages. One point = one
+// (strategy, failed-link count) cell; a sweep covers the whole registry.
+
+// RouteCompareConfig describes one routecompare point.
+type RouteCompareConfig struct {
+	// Machine carries the strategy under test in its Scheme field.
+	Machine machine.Config
+	// Pattern generates the measured traffic.
+	Pattern traffic.Pattern
+	// Batch is the number of packets each core sends.
+	Batch int
+	// MaxCycles bounds the run (0 = a generous default).
+	MaxCycles uint64
+	// VerifyDeadlock runs the static analyzer on the run's shape and
+	// records the verdict (set on the healthy point of each strategy;
+	// the verdict is fail-count-independent).
+	VerifyDeadlock bool
+}
+
+// RouteComparePoint is one measured routecompare cell.
+type RouteComparePoint struct {
+	Strategy  string `json:"strategy"`
+	FailLinks int    `json:"fail_links"`
+
+	// Analytic strategy profile.
+	MeshVCs  int `json:"mesh_vcs"`
+	TorusVCs int `json:"torus_vcs"`
+	// AreaVsAnton is the network-area ratio of this strategy's VC
+	// provisioning against the paper's scheme (internal/area).
+	AreaVsAnton float64 `json:"area_vs_anton"`
+	// DeadlockVerified/DeadlockFree report the static analyzer verdict
+	// when VerifyDeadlock was set.
+	DeadlockVerified bool `json:"deadlock_verified,omitempty"`
+	DeadlockFree     bool `json:"deadlock_free,omitempty"`
+	// SatRate is the strategy's own analytic saturation rate
+	// (packets/cycle/core) under the pattern; MeanTorusHops its analytic
+	// mean inter-node path length (path stretch shows up here).
+	SatRate       float64 `json:"sat_rate"`
+	MeanTorusHops float64 `json:"mean_torus_hops"`
+
+	// Measured.
+	Batch  int    `json:"batch"`
+	Cycles uint64 `json:"cycles"`
+	// Throughput is normalized by the strategy's own saturation rate;
+	// PacketsPerKCycle is the absolute per-core delivery rate x1000, the
+	// cross-strategy comparison axis.
+	Throughput       float64 `json:"throughput"`
+	PacketsPerKCycle float64 `json:"packets_per_kcycle"`
+	MeanLatency      float64 `json:"mean_latency"`
+	P99Latency       float64 `json:"p99_latency"`
+	// Degradation columns: static strategies concede DegradedRun when
+	// links die (Rerouted counts emergency reroutes); a fault-aware
+	// strategy absorbs the same outages (RoutedNative) un-degraded.
+	DegradedRun  bool   `json:"degraded_run,omitempty"`
+	Rerouted     uint64 `json:"rerouted,omitempty"`
+	RoutedNative uint64 `json:"routed_native,omitempty"`
+}
+
+// SimCycles lets exp record simulated cycle counts in artifacts.
+func (p RouteComparePoint) SimCycles() uint64 { return p.Cycles }
+
+// Degraded implements exp.Degrader for result classification.
+func (p RouteComparePoint) Degraded() bool { return p.DegradedRun }
+
+// AreaRatioVsAnton prices a strategy's VC provisioning against the paper's
+// scheme: the network-area ratio at otherwise-default area parameters.
+func AreaRatioVsAnton(s route.Scheme) float64 {
+	cfg := area.Default()
+	cfg.Scheme = s
+	return area.Compute(cfg).NetworkTotal() / area.Compute(area.Default()).NetworkTotal()
+}
+
+// RunRouteComparePoint executes one routecompare measurement.
+func RunRouteComparePoint(cfg RouteCompareConfig) (RouteComparePoint, error) {
+	scheme := cfg.Machine.Scheme
+	if scheme == nil {
+		scheme = route.AntonScheme{}
+	}
+	pt := RouteComparePoint{
+		Strategy:    scheme.Name(),
+		MeshVCs:     scheme.MeshVCs(),
+		TorusVCs:    scheme.TorusVCs(),
+		AreaVsAnton: AreaRatioVsAnton(scheme),
+		Batch:       cfg.Batch,
+	}
+	if cfg.Machine.Fault != nil {
+		pt.FailLinks = cfg.Machine.Fault.FailLinks
+	}
+
+	m, _, err := BuildMachine(cfg.Machine)
+	if err != nil {
+		return pt, err
+	}
+	if cfg.VerifyDeadlock {
+		pt.DeadlockVerified = true
+		pt.DeadlockFree = deadlock.Verify(m.RouteConfig(), deadlock.Options{}) == nil
+	}
+	measured, err := PatternLoads(cfg.Machine, cfg.Pattern)
+	if err != nil {
+		return pt, err
+	}
+	satRate := measured.SaturationRate()
+	if satRate <= 0 {
+		return pt, fmt.Errorf("core: pattern %s places no torus load", cfg.Pattern.Name())
+	}
+	pt.SatRate = satRate
+	pt.MeanTorusHops = measured.MeanTorusHops
+
+	tm := m.Topo
+	cores := tm.Chip.CoreEndpoints()
+	total := uint64(tm.NumNodes() * len(cores) * cfg.Batch)
+	for n := 0; n < tm.NumNodes(); n++ {
+		for _, ep := range cores {
+			src := topo.NodeEp{Node: n, Ep: ep}
+			rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("rc-src-%d-%d", n, ep))
+			sent := 0
+			m.Endpoint(src).Source = func() *packet.Packet {
+				if sent >= cfg.Batch {
+					return nil
+				}
+				sent++
+				dst := cfg.Pattern.Dest(tm, src, rng)
+				return m.MakeRandomPacket(src, dst, route.ClassRequest, 0, rng)
+			}
+		}
+	}
+	lats := make([]float64, 0, total)
+	onDeliver := func(p *packet.Packet, now uint64) bool {
+		lats = append(lats, float64(now-p.InjectedAt))
+		return false
+	}
+	for n := 0; n < tm.NumNodes(); n++ {
+		for ep := 0; ep < topo.NumEndpoints; ep++ {
+			m.Endpoint(topo.NodeEp{Node: n, Ep: ep}).OnDeliver = onDeliver
+		}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		ideal := float64(cfg.Batch) / satRate
+		maxCycles = uint64(100 * ideal)
+		if maxCycles < 400_000 {
+			maxCycles = 400_000
+		}
+	}
+	end, err := m.RunUntilDelivered(total, maxCycles)
+	if err != nil {
+		return pt, fmt.Errorf("core: routecompare %s (faillinks=%d): %w", pt.Strategy, pt.FailLinks, err)
+	}
+	if err := m.FinishChecks(); err != nil {
+		return pt, fmt.Errorf("core: routecompare %s (faillinks=%d): %w", pt.Strategy, pt.FailLinks, err)
+	}
+
+	pt.Cycles = end
+	pt.Throughput = float64(cfg.Batch) / float64(end) / satRate
+	pt.PacketsPerKCycle = float64(cfg.Batch) / float64(end) * 1000
+	pt.MeanLatency = stats.Mean(lats)
+	pt.P99Latency = stats.Percentile(lats, 99)
+	if st := m.FaultStatus(); st != nil {
+		pt.DegradedRun = st.Degraded
+		pt.Rerouted = st.Counters.Rerouted
+		pt.RoutedNative = st.Counters.RoutedNative
+	}
+	return pt, nil
+}
+
+// RouteCompareSpec canonically identifies one routecompare point. The
+// strategy enters the key through addMachine's scheme name — distinct
+// strategies can never share a cached artifact — and the fail-link count
+// through the fault spec canonical.
+func RouteCompareSpec(cfg RouteCompareConfig) *exp.Spec {
+	s := exp.NewSpec("routecompare")
+	addMachine(s, cfg.Machine)
+	return s.Add("pattern", cfg.Pattern.Name()).
+		Add("batch", cfg.Batch).
+		Add("maxcycles", cfg.MaxCycles).
+		Add("verify", cfg.VerifyDeadlock)
+}
+
+// RouteCompareJob wraps one RunRouteComparePoint call for the orchestrator.
+func RouteCompareJob(cfg RouteCompareConfig) exp.Job {
+	return exp.Job{Spec: RouteCompareSpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunRouteComparePoint(c)
+	}}
+}
+
+// RouteCompareJobs builds the full comparison grid: every registered
+// strategy at every fail-link count (0 = the healthy phase, which also
+// carries the static deadlock verdict). Strategies iterate in registry
+// (name) order so the job list — and the artifact — is deterministic.
+func RouteCompareJobs(base machine.Config, pattern traffic.Pattern, batch int, failLinks []int, maxCycles uint64) []exp.Job {
+	var jobs []exp.Job
+	for _, strat := range route.Strategies() {
+		for _, n := range failLinks {
+			c := RouteCompareConfig{
+				Machine:        base,
+				Pattern:        pattern,
+				Batch:          batch,
+				MaxCycles:      maxCycles,
+				VerifyDeadlock: n == 0,
+			}
+			c.Machine.Scheme = strat
+			if n > 0 {
+				c.Machine.Fault = &fault.Spec{FailLinks: n}
+			}
+			jobs = append(jobs, RouteCompareJob(c))
+		}
+	}
+	return jobs
+}
+
+// RouteCompareSweepOpts runs the comparison grid through the orchestrator.
+func RouteCompareSweepOpts(base machine.Config, pattern traffic.Pattern, batch int, failLinks []int, maxCycles uint64, opts exp.Options) ([]RouteComparePoint, error) {
+	return collect[RouteComparePoint](exp.Run(RouteCompareJobs(base, pattern, batch, failLinks, maxCycles), opts))
+}

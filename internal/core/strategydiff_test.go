@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anton2/internal/exp"
+	"anton2/internal/fault"
+	"anton2/internal/machine"
+	"anton2/internal/power"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+)
+
+// This file is the strategy-differential regression net, the companion to
+// enginediff_test.go: every registered routing strategy runs every simulated
+// experiment family, (a) completing deadlock-free under the full runtime
+// invariant suite and (b) producing byte-identical canonical artifacts
+// across all engine variants. A strategy that perturbs results under the
+// sharded stepper, or that trips flit conservation under faults, fails here
+// before it ever reaches an experiment.
+
+// stratShape keeps the per-strategy sweeps tiny: with four strategies, three
+// engine variants, and six families, each point must run in milliseconds.
+var stratShape = topo.Shape3(2, 2, 2)
+
+// diffStrategyFamily runs the cross-engine byte-stability check once per
+// registered strategy, injecting the strategy after the engine mutation.
+func diffStrategyFamily(t *testing.T, family string, jobs func(mutate func(*machine.Config)) []exp.Job) {
+	t.Helper()
+	for _, strat := range route.Strategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			diffFamily(t, family+"-"+strat.Name(), func(mutate func(*machine.Config)) []exp.Job {
+				return jobs(func(c *machine.Config) {
+					mutate(c)
+					c.Scheme = strat
+				})
+			})
+		})
+	}
+}
+
+func TestStrategyDiffThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	diffStrategyFamily(t, "throughput", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(stratShape)
+		mutate(&mc)
+		return []exp.Job{ThroughputJob(ThroughputConfig{
+			Machine:        mc,
+			Pattern:        traffic.Uniform{},
+			WeightPatterns: []traffic.Pattern{traffic.Uniform{}},
+			Batch:          8,
+		})}
+	})
+}
+
+func TestStrategyDiffBlend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	// Tornado and reverse tornado coincide on a 2-ring (offset k/2 = 1 either
+	// way), degenerating the blend; the X dimension needs radix 4.
+	diffStrategyFamily(t, "blend", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(topo.Shape3(4, 2, 2))
+		mutate(&mc)
+		return []exp.Job{BlendJob(BlendConfig{
+			Machine:         mc,
+			Weights:         WeightsBoth,
+			ForwardFraction: 0.5,
+			Batch:           8,
+		})}
+	})
+}
+
+func TestStrategyDiffLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	diffStrategyFamily(t, "latency", func(mutate func(*machine.Config)) []exp.Job {
+		cfg := DefaultLatencyConfig(stratShape)
+		cfg.PingPongs = 2
+		cfg.PairsPerHop = 1
+		cfg.MaxHops = 2
+		mutate(&cfg.Machine)
+		return []exp.Job{LatencyJob(cfg)}
+	})
+}
+
+func TestStrategyDiffEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	// The energy loop is mesh-only (1x1x1): it exercises each strategy's
+	// M-group transitions without any torus traffic.
+	diffStrategyFamily(t, "energy", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(topo.Shape3(1, 1, 1))
+		mutate(&mc)
+		return []exp.Job{EnergyJob(EnergyConfig{
+			Machine: mc, Model: power.PaperModel,
+			RateNum: 1, RateDen: 2,
+			Payload: PayloadRandom, Flits: 100,
+		})}
+	})
+}
+
+func TestStrategyDiffFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	// One permanent outage plus background corruption: the reroute path (or,
+	// for angara, the native fault-routing path) must itself be engine-stable.
+	diffStrategyFamily(t, "faultsweep", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(stratShape)
+		mc.Fault = &fault.Spec{CorruptRate: 0.02, FailLinks: 1}
+		mutate(&mc)
+		return []exp.Job{FaultJob(FaultConfig{
+			Machine: mc,
+			Pattern: traffic.Uniform{},
+			Batch:   8,
+		})}
+	})
+}
+
+func TestStrategyDiffRouteCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	// The routecompare grid already spans the registry, so one diffFamily
+	// call covers every strategy at both the healthy and faulted cells.
+	diffFamily(t, "routecompare", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(stratShape)
+		mutate(&mc)
+		return RouteCompareJobs(mc, traffic.Uniform{}, 4, []int{0, 1}, 0)
+	})
+}
+
+// TestStrategyCheckedRuns completes one measured routecompare point per
+// (strategy, fail-link count) under the full runtime invariant suite: the
+// run must finish deadlock-free with flit conservation, credit accounting,
+// and VC monotonicity intact, and the healthy cell must carry a verified
+// deadlock-free verdict.
+func TestStrategyCheckedRuns(t *testing.T) {
+	for _, strat := range route.Strategies() {
+		for _, n := range []int{0, 1} {
+			strat, n := strat, n
+			name := strat.Name() + "/healthy"
+			if n > 0 {
+				name = strat.Name() + "/faillinks=1"
+			}
+			t.Run(name, func(t *testing.T) {
+				mc := machine.DefaultConfig(stratShape)
+				mc.Check = true
+				mc.Scheme = strat
+				if n > 0 {
+					mc.Fault = &fault.Spec{FailLinks: n}
+				}
+				pt, err := RunRouteComparePoint(RouteCompareConfig{
+					Machine:        mc,
+					Pattern:        traffic.Uniform{},
+					Batch:          8,
+					VerifyDeadlock: n == 0,
+				})
+				if err != nil {
+					t.Fatalf("%s: checked run failed: %v", strat.Name(), err)
+				}
+				if n == 0 && (!pt.DeadlockVerified || !pt.DeadlockFree) {
+					t.Errorf("%s: healthy cell verdict = verified %v, free %v",
+						strat.Name(), pt.DeadlockVerified, pt.DeadlockFree)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultAwareStrategyAbsorbsOutages is the resilience differential: with
+// the same seeded permanent link outages, the static anton strategy must
+// concede a degraded run (emergency reroutes), while the fault-aware angara
+// strategy absorbs the same outages un-degraded by routing around them
+// natively — and the routecompare artifact must record that difference.
+func TestFaultAwareStrategyAbsorbsOutages(t *testing.T) {
+	run := func(scheme route.Scheme) (RouteComparePoint, []byte) {
+		t.Helper()
+		mc := machine.DefaultConfig(topo.Shape3(3, 3, 2))
+		mc.Scheme = scheme
+		mc.Fault = &fault.Spec{FailLinks: 2}
+		job := RouteCompareJob(RouteCompareConfig{
+			Machine: mc,
+			Pattern: traffic.Uniform{},
+			Batch:   16,
+		})
+		rs := exp.Run([]exp.Job{job}, exp.Options{Name: "resilience-" + scheme.Name()})
+		if rs[0].Err != nil {
+			t.Fatalf("%s: %v", scheme.Name(), rs[0].Err)
+		}
+		data, err := exp.MarshalCanonical(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs[0].Value.(RouteComparePoint), data
+	}
+
+	static, staticArt := run(route.AntonScheme{})
+	aware, awareArt := run(route.AngaraStrategy{})
+
+	if !static.DegradedRun || static.Rerouted == 0 {
+		t.Errorf("anton under 2 dead links: degraded=%v rerouted=%d, want a degraded run with emergency reroutes",
+			static.DegradedRun, static.Rerouted)
+	}
+	if aware.DegradedRun {
+		t.Errorf("angara under 2 dead links reported a degraded run; native graph routing should absorb them")
+	}
+	if aware.RoutedNative == 0 {
+		t.Error("angara under 2 dead links routed nothing natively; the outages never exercised the fault router")
+	}
+	if aware.Rerouted != 0 {
+		t.Errorf("angara fell back to emergency rerouting %d packets", aware.Rerouted)
+	}
+
+	// The canonical artifacts carry the same story: the static cell is
+	// classified degraded and counts reroutes, the fault-aware cell is
+	// healthy and counts native fault-routed packets.
+	if !bytes.Contains(staticArt, []byte(`"degraded": true`)) || !strings.Contains(string(staticArt), `"rerouted"`) {
+		t.Errorf("static artifact does not record the degraded outcome:\n%s", staticArt)
+	}
+	if bytes.Contains(awareArt, []byte(`"degraded": true`)) || !strings.Contains(string(awareArt), `"routed_native"`) {
+		t.Errorf("fault-aware artifact should be un-degraded with routed_native recorded:\n%s", awareArt)
+	}
+}

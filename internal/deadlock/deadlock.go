@@ -39,10 +39,13 @@ func (g *Graph) Resource(n int32) (ch int, vc int) {
 	return int(n) / g.maxVCs, int(n) % g.maxVCs
 }
 
-// Build enumerates all node pairs with every routing choice (dimension
-// order, slice, tie-breaks) and records the channel/VC dependencies of each
-// route. Endpoint attachments are rotated deterministically so that every
-// endpoint participates across the enumeration.
+// Build enumerates all node pairs with every routing choice the strategy
+// admits (dimension order, slice, tie-breaks) and records the channel/VC
+// dependencies of each route. Endpoint attachments are rotated
+// deterministically so that every endpoint participates across the
+// enumeration. Restricted-path strategies contribute exactly their
+// restricted choice sets, so the graph verified here is the graph the
+// simulator routes in.
 func Build(cfg *route.Config, opts Options) *Graph {
 	stride := opts.EndpointStride
 	if stride <= 0 {
@@ -53,6 +56,7 @@ func Build(cfg *route.Config, opts Options) *Graph {
 		maxVCs: maxSchemeVCs(cfg.Scheme),
 		adj:    make(map[int32]map[int32]struct{}),
 	}
+	strat := route.AsStrategy(cfg.Scheme)
 	m := cfg.Machine
 	n := m.NumNodes()
 	rot := 0
@@ -63,7 +67,7 @@ func Build(cfg *route.Config, opts Options) *Graph {
 			rot += stride
 			src := topo.NodeEp{Node: a, Ep: srcEp}
 			dst := topo.NodeEp{Node: b, Ep: dstEp}
-			for _, wc := range route.EnumerateChoices(m.Shape, m.Shape.Coord(a), m.Shape.Coord(b)) {
+			for _, wc := range strat.Enumerate(m.Shape, m.Shape.Coord(a), m.Shape.Coord(b)) {
 				g.addRoute(route.Walk(cfg, src, dst, wc.Order, wc.Slice, wc.Ties, route.ClassRequest))
 			}
 		}
@@ -74,7 +78,9 @@ func Build(cfg *route.Config, opts Options) *Graph {
 		for ep2 := 0; ep2 < topo.NumEndpoints; ep2++ {
 			src := topo.NodeEp{Node: 0, Ep: ep1}
 			dst := topo.NodeEp{Node: 0, Ep: ep2}
-			g.addRoute(route.Walk(cfg, src, dst, topo.AllDimOrders[0], 0, [3]int8{1, 1, 1}, route.ClassRequest))
+			c := strat.Choose(cfg, src, dst,
+				route.Choices{Order: topo.AllDimOrders[0], Slice: 0, Ties: [3]int8{1, 1, 1}}, route.ClassRequest)
+			g.addRoute(route.Walk(cfg, src, dst, c.Order, c.Slice, c.Ties, route.ClassRequest))
 		}
 	}
 	return g

@@ -215,7 +215,8 @@ type Counters struct {
 	CreditsDropped  uint64 // credit-return messages dropped
 	CreditsRestored uint64 // credits restored by the resync audit
 	LinksFailed     uint64 // permanent link outages installed
-	Rerouted        uint64 // packets whose routing choices were changed to avoid failed links
+	Rerouted        uint64 // packets rerouted by emergency avoidance (degradation)
+	RoutedNative    uint64 // packets routed around failures by a fault-aware strategy
 	Unroutable      uint64 // packets with no failure-avoiding route
 }
 
@@ -235,6 +236,7 @@ func (c *Counters) Add(o Counters) {
 	c.CreditsRestored += o.CreditsRestored
 	c.LinksFailed += o.LinksFailed
 	c.Rerouted += o.Rerouted
+	c.RoutedNative += o.RoutedNative
 	c.Unroutable += o.Unroutable
 }
 
@@ -254,6 +256,7 @@ func (c *Counters) Map() map[string]uint64 {
 		"credits_restored": c.CreditsRestored,
 		"links_failed":     c.LinksFailed,
 		"rerouted":         c.Rerouted,
+		"routed_native":    c.RoutedNative,
 		"unroutable":       c.Unroutable,
 	}
 }

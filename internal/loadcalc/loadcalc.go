@@ -88,6 +88,7 @@ func computeWith(cfg *route.Config, sources []int, flows FlowFunc, class route.C
 		l.AdIn[a] = make([]float64, maxVC)
 	}
 
+	strat := route.AsStrategy(cfg.Scheme)
 	chip := m.Chip
 	for _, srcEp := range sources {
 		src := topo.NodeEp{Node: 0, Ep: srcEp}
@@ -102,9 +103,9 @@ func computeWith(cfg *route.Config, sources []int, flows FlowFunc, class route.C
 		for _, f := range fl {
 			srcC := m.Shape.Coord(0)
 			dstC := m.Shape.Coord(f.Dst.Node)
-			choices := route.EnumerateChoices(m.Shape, srcC, dstC)
+			choices := strat.Enumerate(m.Shape, srcC, dstC)
 			if fixedSlice != nil {
-				choices = route.EnumerateChoicesFixedSlice(m.Shape, srcC, dstC, *fixedSlice)
+				choices = route.FilterSlice(choices, *fixedSlice)
 			}
 			for _, wc := range choices {
 				w := f.Frac * wc.Weight

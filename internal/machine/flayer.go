@@ -390,6 +390,17 @@ type FaultStatus struct {
 	Fatal       error          // retry budget exhaustion or unreachability, if any
 }
 
+// degraded classifies the run: link outages and emergency reroutes concede
+// degradation for static strategies, but a fault-aware strategy
+// (route.FaultRouter) absorbs outages as part of its algorithm — only an
+// emergency reroute (which it never takes) would degrade it.
+func (m *Machine) degraded(c fault.Counters) bool {
+	if m.faultAware {
+		return c.Rerouted > 0
+	}
+	return c.LinksFailed > 0 || c.Rerouted > 0
+}
+
 // FaultStatus returns the current fault-layer snapshot, or nil when no fault
 // spec is attached.
 func (m *Machine) FaultStatus() *FaultStatus {
@@ -400,7 +411,7 @@ func (m *Machine) FaultStatus() *FaultStatus {
 	return &FaultStatus{
 		FailedLinks: append([]int(nil), m.flt.failedList...),
 		Counters:    c,
-		Degraded:    c.LinksFailed > 0 || c.Rerouted > 0,
+		Degraded:    m.degraded(c),
 		Fatal:       m.flt.fatal,
 	}
 }

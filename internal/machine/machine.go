@@ -22,8 +22,14 @@ type Machine struct {
 	Engine *sim.Engine
 
 	routeCfg *route.Config
-	chans    []*fabric.Channel // global channel id -> channel
-	nodes    []*Node
+	// strategy is Cfg.Scheme upgraded to a full routing strategy, and
+	// faultAware whether it natively routes around failed links
+	// (route.FaultRouter) — in which case absorbed link deaths do not
+	// degrade the run.
+	strategy   route.Strategy
+	faultAware bool
+	chans      []*fabric.Channel // global channel id -> channel
+	nodes      []*Node
 
 	injected  uint64
 	delivered uint64
@@ -116,6 +122,8 @@ func New(cfg Config) (*Machine, error) {
 			ExitSkip: cfg.ExitSkip,
 		},
 	}
+	m.strategy = route.AsStrategy(cfg.Scheme)
+	_, m.faultAware = m.strategy.(route.FaultRouter)
 	if shards > 1 {
 		m.sharded = true
 		m.shardCount = shards
@@ -375,25 +383,32 @@ func clipWeights(w [][arbiter.NumPatterns]uint32, k int) [][arbiter.NumPatterns]
 }
 
 // MakePacket allocates a packet from the pool with an initialized route.
-// When permanent link faults are active, the routing choices are steered
-// away from the failed links at injection time (graceful degradation); an
-// unreachable destination marks the run fatally unroutable.
+// The routing strategy first maps the (typically randomized) choices onto
+// its admissible set. When permanent link faults are active, a fault-aware
+// strategy (route.FaultRouter) then routes around them natively; any other
+// strategy falls back to emergency rerouting (graceful degradation). An
+// unreachable destination marks the run fatally unroutable either way.
 func (m *Machine) MakePacket(src, dst topo.NodeEp, c route.Choices, class route.Class, pattern uint8, size uint8) *packet.Packet {
+	c = m.strategy.Choose(m.routeCfg, src, dst, c, class)
 	if m.flt != nil && len(m.flt.failed) > 0 {
-		avoided, rerouted, ok := route.ChoicesAvoiding(m.routeCfg, src, dst, c, class, m.flt.failed)
+		avoided, rerouted, ok := m.avoidFailed(src, dst, c, class)
 		if !ok {
 			// Injection can run on any shard worker (endpoint Sources), so
 			// the injection counter slot and the fatal marker are mutexed.
 			m.flt.mu.Lock()
 			m.flt.cnt[m.flt.injSlot()].Unroutable++
 			if m.flt.fatal == nil {
-				m.flt.fatal = fmt.Errorf("machine: no minimal route from %v to %v avoids the failed links", src, dst)
+				m.flt.fatal = fmt.Errorf("machine: no admissible route from %v to %v avoids the failed links", src, dst)
 			}
 			m.flt.mu.Unlock()
 		} else {
 			if rerouted {
 				m.flt.mu.Lock()
-				m.flt.cnt[m.flt.injSlot()].Rerouted++
+				if m.faultAware {
+					m.flt.cnt[m.flt.injSlot()].RoutedNative++
+				} else {
+					m.flt.cnt[m.flt.injSlot()].Rerouted++
+				}
 				m.flt.mu.Unlock()
 			}
 			c = avoided
@@ -405,6 +420,18 @@ func (m *Machine) MakePacket(src, dst topo.NodeEp, c route.Choices, class route.
 	p.PatternID = pattern
 	p.Route = route.Init(m.routeCfg, src, dst, c.Order, c.Slice, c.Ties, class)
 	return p
+}
+
+// avoidFailed steers admissible routing choices away from the failed-link
+// set: a fault-aware strategy searches its own per-pair path set
+// (route.FaultRouter); every other strategy falls back to the generic
+// emergency rerouting of graceful degradation.
+func (m *Machine) avoidFailed(src, dst topo.NodeEp, c route.Choices, class route.Class) (out route.Choices, rerouted, ok bool) {
+	if fr, isFR := m.strategy.(route.FaultRouter); isFR {
+		out, ok = fr.ChooseAvoiding(m.routeCfg, src, dst, c, class, m.flt.failed)
+		return out, ok && out != c, ok
+	}
+	return route.ChoicesAvoiding(m.routeCfg, src, dst, c, class, m.flt.failed)
 }
 
 // MakeRandomPacket is MakePacket with uniformly randomized routing choices.

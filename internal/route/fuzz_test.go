@@ -92,3 +92,77 @@ func FuzzWalk(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStrategyWalk drives every registered strategy across fuzzed shapes,
+// endpoints, and raw (pre-Choose) routing choices, asserting the resource
+// discipline the deadlock argument needs from any strategy: the walk
+// terminates (Walk panics otherwise), takes exactly the strategy's expected
+// inter-node hop count, every hop stays inside the ChannelVCs budget of its
+// channel group, and no (channel, VC) resource is ever revisited — a route
+// that reacquires a resource it already released is a dependency cycle of
+// length one waiting to happen.
+func FuzzStrategyWalk(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(8), uint16(0), uint16(511), uint8(0), uint8(22), uint8(0), uint8(1), uint8(5), uint8(0), false)
+	f.Add(uint8(4), uint8(4), uint8(2), uint16(3), uint16(3), uint8(7), uint8(7), uint8(3), uint8(0), uint8(2), uint8(1), true)
+	f.Add(uint8(3), uint8(3), uint8(3), uint16(1), uint16(25), uint8(2), uint8(9), uint8(5), uint8(3), uint8(1), uint8(2), true)
+	f.Add(uint8(1), uint8(2), uint8(5), uint16(4), uint16(9), uint8(1), uint8(0), uint8(1), uint8(2), uint8(0), uint8(3), false)
+
+	f.Fuzz(func(t *testing.T, kx, ky, kz uint8, srcNode, dstNode uint16,
+		srcEp, dstEp, orderIdx, sliceTies, class, stratSel uint8, exitSkip bool) {
+		shape := fuzzShape(kx, ky, kz)
+		m, err := topo.NewMachine(shape)
+		if err != nil {
+			t.Fatalf("NewMachine(%v): %v", shape, err)
+		}
+		names := StrategyNames()
+		strat, _ := StrategyByName(names[int(stratSel)%len(names)])
+		cfg := &Config{
+			Machine:  m,
+			Scheme:   strat,
+			DirOrder: topo.DefaultDirOrder,
+			UseSkip:  true,
+			ExitSkip: exitSkip,
+		}
+		src := topo.NodeEp{Node: int(srcNode) % shape.NumNodes(), Ep: int(srcEp) % topo.NumEndpoints}
+		dst := topo.NodeEp{Node: int(dstNode) % shape.NumNodes(), Ep: int(dstEp) % topo.NumEndpoints}
+		raw := Choices{
+			Order: topo.AllDimOrders[int(orderIdx)%len(topo.AllDimOrders)],
+			Slice: sliceTies % topo.NumSlices,
+		}
+		for d := 0; d < topo.NumDims; d++ {
+			if sliceTies>>(1+d)&1 != 0 {
+				raw.Ties[d] = 1
+			} else {
+				raw.Ties[d] = -1
+			}
+		}
+		cls := Class(class % NumClasses)
+		c := strat.Choose(cfg, src, dst, raw, cls)
+		if again := strat.Choose(cfg, src, dst, c, cls); again != c {
+			t.Fatalf("%s: Choose not idempotent: %+v -> %+v", strat.Name(), c, again)
+		}
+
+		hops := Walk(cfg, src, dst, c.Order, c.Slice, c.Ties, cls)
+
+		torusHops := 0
+		seen := make(map[Hop]bool, len(hops))
+		for _, h := range hops {
+			if budget := ChannelVCs(strat, m.ChanGroup(h.Chan)); int(h.VC) >= budget {
+				t.Fatalf("%s: hop on %s uses VC %d, budget is %d",
+					strat.Name(), m.ChanName(h.Chan), h.VC, budget)
+			}
+			if seen[h] {
+				t.Fatalf("%s: route %v->%v revisits resource (%s, vc%d)",
+					strat.Name(), src, dst, m.ChanName(h.Chan), h.VC)
+			}
+			seen[h] = true
+			if m.IsTorusChan(h.Chan) {
+				torusHops++
+			}
+		}
+		if want := InterNodeHopsFor(strat, shape, src, dst); torusHops != want {
+			t.Fatalf("%s: route %v->%v on %v took %d torus hops, want %d",
+				strat.Name(), src, dst, shape, torusHops, want)
+		}
+	})
+}

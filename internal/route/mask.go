@@ -28,12 +28,18 @@ func UsesAny(cfg *Config, src, dst topo.NodeEp, c Choices, class Class, failed m
 // candidate order is deterministic: the original choices, then the opposite
 // slice, then every (dimension order, slice) combination in canonical order,
 // all keeping the original tie-breaks, and finally the same sequence with
-// every tie-break flipped. rerouted reports whether the result differs from
-// c; ok is false when no candidate avoids the failed set (the destination is
-// unreachable under minimal routing).
+// every tie-break flipped. Candidates the strategy's path policy does not
+// admit are skipped, so emergency rerouting never leaves the choice set the
+// deadlock analyzer verified. rerouted reports whether the result differs
+// from c; ok is false when no admissible candidate avoids the failed set
+// (the destination is unreachable under the strategy).
 func ChoicesAvoiding(cfg *Config, src, dst topo.NodeEp, c Choices, class Class, failed map[int]bool) (out Choices, rerouted, ok bool) {
 	if !UsesAny(cfg, src, dst, c, class, failed) {
 		return c, false, true
+	}
+	strat := AsStrategy(cfg.Scheme)
+	admits := func(cand Choices) bool {
+		return strat.Choose(cfg, src, dst, cand, class) == cand
 	}
 	flip := c.Ties
 	for d := range flip {
@@ -41,13 +47,13 @@ func ChoicesAvoiding(cfg *Config, src, dst topo.NodeEp, c Choices, class Class, 
 	}
 	for _, ties := range [][topo.NumDims]int8{c.Ties, flip} {
 		cand := Choices{Order: c.Order, Slice: (c.Slice + 1) % topo.NumSlices, Ties: ties}
-		if !UsesAny(cfg, src, dst, cand, class, failed) {
+		if admits(cand) && !UsesAny(cfg, src, dst, cand, class, failed) {
 			return cand, true, true
 		}
 		for _, ord := range topo.AllDimOrders {
 			for s := 0; s < topo.NumSlices; s++ {
 				cand := Choices{Order: ord, Slice: uint8(s), Ties: ties}
-				if !UsesAny(cfg, src, dst, cand, class, failed) {
+				if admits(cand) && !UsesAny(cfg, src, dst, cand, class, failed) {
 					return cand, true, true
 				}
 			}

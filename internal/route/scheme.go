@@ -37,8 +37,9 @@ type Scheme interface {
 // counter incremented when a packet 1) crosses a dateline or 2) finishes
 // routing along a torus dimension in which it did not cross a dateline. It
 // needs only n+1 = 4 VCs in each of the M- and T-groups for a 3-D torus,
-// one-third fewer T-group VCs than the previous approach.
-type AntonScheme struct{}
+// one-third fewer T-group VCs than the previous approach. Its path policy
+// is unrestricted randomized minimal routing (minimalPolicy).
+type AntonScheme struct{ minimalPolicy }
 
 // Name implements Scheme.
 func (AntonScheme) Name() string { return "anton" }
@@ -70,7 +71,7 @@ func (AntonScheme) ExitDim(tvc, mvc uint8, dimIdx int, traveled, crossed bool) u
 // (Nesson & Johnsson [20], as described in Section 2.5): a distinct dateline
 // VC pair per torus dimension (2n = 6 T-group VCs) plus an M-group VC
 // incremented at each dimension turn (n+1 = 4 M-group VCs).
-type BaselineScheme struct{}
+type BaselineScheme struct{ minimalPolicy }
 
 // Name implements Scheme.
 func (BaselineScheme) Name() string { return "baseline-2n" }
@@ -101,8 +102,10 @@ func (BaselineScheme) ExitDim(tvc, mvc uint8, dimIdx int, traveled, crossed bool
 
 // NoDatelineScheme is a deliberately broken discipline used to validate the
 // deadlock analyzer: it never promotes VCs at datelines, so torus rings with
-// more than two nodes form cyclic dependencies.
-type NoDatelineScheme struct{}
+// more than two nodes form cyclic dependencies. It is a full Strategy so
+// the analyzer can walk its routes, but it is never registered: the registry
+// is the user-selectable set, and this scheme exists to be rejected.
+type NoDatelineScheme struct{ minimalPolicy }
 
 // Name implements Scheme.
 func (NoDatelineScheme) Name() string { return "broken-no-dateline" }

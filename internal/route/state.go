@@ -91,10 +91,15 @@ func NewConfig(m *topo.Machine) *Config {
 	return &Config{Machine: m, Scheme: AntonScheme{}, DirOrder: topo.DefaultDirOrder, UseSkip: true, ExitSkip: true}
 }
 
-// delta returns the signed minimal hop count from node cur to dst along dim,
-// applying the packet's tie-break choice when both directions are minimal.
-func (st *State) delta(shape topo.TorusShape, cur, dst topo.NodeCoord, d topo.Dim) int {
-	delta, tie := shape.MinimalDelta(cur, dst, d)
+// delta returns the signed hop count from node cur to dst along dim. For
+// wrapping strategies it is the minimal delta with the packet's tie-break
+// applied when both directions are minimal; for non-wrapping strategies it
+// is the monotone coordinate difference, which never crosses a dateline.
+func (st *State) delta(cfg *Config, cur, dst topo.NodeCoord, d topo.Dim) int {
+	if s, ok := cfg.Scheme.(Strategy); ok && !s.Wraps() {
+		return dst.Get(d) - cur.Get(d)
+	}
+	delta, tie := cfg.Machine.Shape.MinimalDelta(cur, dst, d)
 	if tie && st.Ties[d] < 0 {
 		return -delta
 	}
@@ -151,11 +156,10 @@ func (st *State) legPlan(cfg *Config, dst topo.NodeEp, at topo.MeshCoord) (cost 
 // leaving it either ready to travel (ModeMeshToAdapter with Dir set) or
 // bound for the destination endpoint (ModeMeshToEndpoint).
 func (st *State) advance(cfg *Config, cur topo.NodeCoord, dst topo.NodeEp) {
-	shape := cfg.Machine.Shape
-	dstCoord := shape.Coord(dst.Node)
+	dstCoord := cfg.Machine.Shape.Coord(dst.Node)
 	for int(st.DimIdx) < topo.NumDims {
 		d := st.DimOrder[st.DimIdx]
-		if delta := st.delta(shape, cur, dstCoord, d); delta != 0 {
+		if delta := st.delta(cfg, cur, dstCoord, d); delta != 0 {
 			sign := 1
 			if delta < 0 {
 				sign = -1
@@ -293,9 +297,9 @@ func AdapterIngress(cfg *Config, st *State, dst topo.NodeEp, node int) (vc uint8
 	chip := cfg.Machine.Chip
 	cur := shape.Coord(node)
 	d := st.Dir.Dim()
-	if delta := st.delta(shape, cur, shape.Coord(dst.Node), d); delta != 0 {
-		// More hops needed in this dimension; minimal routing
-		// guarantees the sign cannot flip mid-dimension.
+	if delta := st.delta(cfg, cur, shape.Coord(dst.Node), d); delta != 0 {
+		// More hops needed in this dimension; minimal (or monotone)
+		// routing guarantees the sign cannot flip mid-dimension.
 		if topo.DirectionOf(d, sgn(delta)) != st.Dir {
 			panic(fmt.Sprintf("route: direction flip in dim %v at node %v", d, cur))
 		}

@@ -11,6 +11,7 @@ import (
 	"anton2/internal/fault"
 	"anton2/internal/machine"
 	"anton2/internal/power"
+	"anton2/internal/route"
 	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
@@ -23,7 +24,7 @@ import (
 // share one content-addressed artifact forever.
 type Request struct {
 	// Family selects the experiment: throughput, blend, latency, energy,
-	// or faultsweep.
+	// faultsweep, or routecompare.
 	Family string `json:"family"`
 	// Shape is the torus shape, e.g. "4x4x2" (ignored by energy, which
 	// always measures the single-node loop machine like Figure 13).
@@ -51,6 +52,12 @@ type Request struct {
 	Payload string `json:"payload,omitempty"`
 	// Flits is the energy stream length (default 400).
 	Flits int `json:"flits,omitempty"`
+	// Strategies are the routecompare routing strategies to score by
+	// registered name (default: every registered strategy).
+	Strategies []string `json:"strategies,omitempty"`
+	// FailLinks are the routecompare permanent-outage sweep points
+	// (default [0], the healthy machine).
+	FailLinks []int `json:"faillinks,omitempty"`
 }
 
 // RequestError is a validation failure: the submission never reached the
@@ -148,10 +155,12 @@ func (q *Request) compile() (*compiled, error) {
 		return q.compileEnergy()
 	case "faultsweep":
 		return q.compileFaultsweep()
+	case "routecompare":
+		return q.compileRouteCompare()
 	case "":
-		return nil, badField("family", "missing (throughput, blend, latency, energy, faultsweep)")
+		return nil, badField("family", "missing (throughput, blend, latency, energy, faultsweep, routecompare)")
 	default:
-		return nil, badField("family", "unknown family %q (throughput, blend, latency, energy, faultsweep)", q.Family)
+		return nil, badField("family", "unknown family %q (throughput, blend, latency, energy, faultsweep, routecompare)", q.Family)
 	}
 }
 
@@ -406,6 +415,81 @@ func (q *Request) compileFaultsweep() (*compiled, error) {
 		return jobs
 	}
 	return &compiled{spec: spec, build: build}, nil
+}
+
+func (q *Request) compileRouteCompare() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := q.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if q.Batch <= 0 {
+		return nil, badField("batch", "must be positive, got %d", q.Batch)
+	}
+	names := q.Strategies
+	if len(names) == 0 {
+		names = route.StrategyNames()
+	}
+	strats := make([]route.Strategy, 0, len(names))
+	for _, n := range names {
+		s, ok := route.StrategyByName(n)
+		if !ok {
+			return nil, badField("strategies", "unknown strategy %q (registered: %s)", n, strList(route.StrategyNames()))
+		}
+		strats = append(strats, s)
+	}
+	fails := q.FailLinks
+	if len(fails) == 0 {
+		fails = []int{0}
+	}
+	for _, n := range fails {
+		if n < 0 {
+			return nil, badField("faillinks", "must be >= 0, got %d", n)
+		}
+	}
+	if pts := len(strats) * len(fails); pts > maxSweepPoints {
+		return nil, badField("faillinks", "%d points exceed the %d-point sweep bound", pts, maxSweepPoints)
+	}
+	spec := exp.NewSpec("serve-routecompare").
+		Add("shape", shape).Add("pattern", pat.Name()).Add("batch", q.Batch).
+		Add("strategies", strList(names)).Add("faillinks", intList(fails))
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(strats)*len(fails))
+		for _, strat := range strats {
+			for _, n := range fails {
+				// Mirrors anton2bench routecompare: the healthy cell of each
+				// strategy carries the static deadlock verdict.
+				mc := machine.DefaultConfig(shape)
+				mc.Scheme = strat
+				mc.Telemetry = tel()
+				if n > 0 {
+					mc.Fault = &fault.Spec{FailLinks: n}
+				}
+				jobs = append(jobs, core.RouteCompareJob(core.RouteCompareConfig{
+					Machine:        mc,
+					Pattern:        pat,
+					Batch:          q.Batch,
+					VerifyDeadlock: n == 0,
+				}))
+			}
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func strList(xs []string) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "|"
+		}
+		s += x
+	}
+	return s
 }
 
 func intList(xs []int) string {

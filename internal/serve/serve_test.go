@@ -221,6 +221,8 @@ func TestValidationRejects(t *testing.T) {
 		{"negative batch", `{"family":"faultsweep","shape":"2x2x2","rates":[0],"batch":-1}`, "batch"},
 		{"rate out of range", `{"family":"faultsweep","shape":"2x2x2","rates":[1.5],"batch":8}`, "rates"},
 		{"bad fault spec", `{"family":"faultsweep","shape":"2x2x2","rates":[0],"batch":8,"fault":"bogus=1"}`, "fault"},
+		{"unknown strategy", `{"family":"routecompare","shape":"2x2x2","batch":8,"strategies":["warp"]}`, "strategies"},
+		{"negative faillinks", `{"family":"routecompare","shape":"2x2x2","batch":8,"faillinks":[-1]}`, "faillinks"},
 		{"unknown field", `{"family":"latency","shape":"2x2x2","turbo":true}`, ""},
 		{"malformed", `{"family":`, ""},
 	}
@@ -500,4 +502,46 @@ func TestLoadTestSmoke(t *testing.T) {
 		t.Fatalf("distinct = %d", report.Distinct)
 	}
 	_ = fmt.Sprintf("%s", report) // String() must not panic on a full report
+}
+
+// TestRouteCompareServed: the routecompare family is servable, and the
+// returned artifact scores every registered strategy — the same cells
+// anton2bench's routecompare experiment computes.
+func TestRouteCompareServed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postWait(t, ts, &Request{
+		Family:    "routecompare",
+		Shape:     "2x2x2",
+		Batch:     4,
+		FailLinks: []int{0, 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var artifact struct {
+		Results []struct {
+			Error string `json:"error"`
+			Value struct {
+				Strategy     string `json:"strategy"`
+				FailLinks    int    `json:"fail_links"`
+				DeadlockFree bool   `json:"deadlock_free"`
+			} `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[string]bool{}
+	for i, r := range artifact.Results {
+		if r.Error != "" {
+			t.Errorf("point %d failed: %s", i, r.Error)
+		}
+		strategies[r.Value.Strategy] = true
+		if r.Value.FailLinks == 0 && !r.Value.DeadlockFree {
+			t.Errorf("point %d: healthy %s cell not verified deadlock-free", i, r.Value.Strategy)
+		}
+	}
+	if len(strategies) < 4 {
+		t.Errorf("artifact scores %d strategies, want >= 4: %v", len(strategies), strategies)
+	}
 }
