@@ -8,12 +8,13 @@
 //	            [-fault corrupt=0.01,...] [-engine active|scan] [-shards N]
 //	            [-shape KxKxK] [-cpuprofile file] [-memprofile file]
 //	            [-experiment name]
-//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|routecompare|kernelbench|all]
+//	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|routecompare|mdstep|kernelbench|all]
 //
 // Simulation figures also answer to topic aliases: throughput (fig9), blend
 // (fig10), latency (fig11), decomposition (fig12), energy (fig13),
-// robustness (faultsweep), routing (routecompare), kernel (kernelbench).
-// -experiment is an alternative spelling of the positional experiment name.
+// robustness (faultsweep), routing (routecompare), timestep or workload
+// (mdstep), kernel (kernelbench). -experiment is an alternative spelling of
+// the positional experiment name.
 //
 // -engine selects the cycle kernel: the default active-set scheduler ticks
 // only components with pending work and skips fully idle cycles; -engine
@@ -43,6 +44,17 @@
 // link outages (faillinks sweeps up from the healthy machine). Strategies are
 // pluggable — see internal/route.RegisterStrategy — and the strategy name is
 // part of every experiment cache key.
+//
+// The mdstep experiment measures an application-shaped figure of merit:
+// end-to-end MD timestep time, with the timestep modeled as three dependent
+// communication phases (bursty halo exchange, multicast force distribution
+// through compiled spanning trees, global reduction) separated by
+// fabric-quiescence barriers. Each registered routing strategy runs the same
+// phased workload and the per-phase and total cycle counts are reported;
+// the sweep then re-runs the default strategy with traffic capture enabled
+// and replays the recorded trace (internal/trace JSON-lines format) on a
+// fresh machine, failing unless the replay reproduces every per-phase cycle
+// count exactly. With -json, the capture is written as mdstep.trace.jsonl.
 //
 // The faultsweep experiment sweeps transient-corruption rate under the
 // internal/fault layer, measuring throughput and delivery-latency quantiles
@@ -166,6 +178,7 @@ var experiments = []struct {
 	{"table1", table1, false}, {"table2", table2, false}, {"fig12", fig12, false}, {"fig13", fig13, false},
 	{"fig11", fig11, false}, {"fig9", fig9, false}, {"fig10", fig10, false}, {"faultsweep", faultsweep, false},
 	{"routecompare", routecompare, false},
+	{"mdstep", mdstep, false},
 	{"kernelbench", kernelbench, true},
 }
 
@@ -178,6 +191,8 @@ var aliases = map[string]string{
 	"energy":        "fig13",
 	"robustness":    "faultsweep",
 	"routing":       "routecompare",
+	"timestep":      "mdstep",
+	"workload":      "mdstep",
 	"kernel":        "kernelbench",
 }
 

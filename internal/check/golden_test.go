@@ -37,6 +37,11 @@ type headlineGolden struct {
 	// Analytic per-source saturation rates (packets/cycle) on the
 	// paper-scale 8x8x8 machine, keyed by traffic pattern.
 	SaturationRate8x8x8 map[string]float64 `json:"saturation_rate_8x8x8"`
+
+	// End-to-end MD timestep time (cycles) of the default phased workload
+	// on a 2x2x2 machine, keyed by routing strategy. Simulation results are
+	// deterministic and engine-invariant, so these are exact pins.
+	MDStepCycles map[string]uint64 `json:"mdstep_cycles_2x2x2"`
 }
 
 func computeHeadline(t *testing.T) headlineGolden {
@@ -44,6 +49,7 @@ func computeHeadline(t *testing.T) headlineGolden {
 	g := headlineGolden{
 		DeadlockFree:        map[string]bool{},
 		SaturationRate8x8x8: map[string]float64{},
+		MDStepCycles:        map[string]uint64{},
 	}
 
 	winners, best := wctraffic.Best(topo.DefaultChip(), wctraffic.DefaultPolicy)
@@ -83,6 +89,16 @@ func computeHeadline(t *testing.T) headlineGolden {
 			t.Fatalf("PatternLoads(%s): %v", p.Name(), err)
 		}
 		g.SaturationRate8x8x8[p.Name()] = l.SaturationRate()
+	}
+
+	for _, strat := range route.Strategies() {
+		smc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+		smc.Scheme = strat
+		pt, err := core.RunMDStepPoint(core.MDStepConfig{Machine: smc})
+		if err != nil {
+			t.Fatalf("mdstep %s: %v", strat.Name(), err)
+		}
+		g.MDStepCycles[strat.Name()] = pt.TotalCycles
 	}
 	return g
 }
@@ -146,6 +162,14 @@ func TestGoldenHeadlineNumbers(t *testing.T) {
 	for k, w := range want.SaturationRate8x8x8 {
 		if g, ok := got.SaturationRate8x8x8[k]; !ok || !relClose(g, w) {
 			t.Errorf("saturation_rate_8x8x8[%q] = %g (present %v), golden %g", k, g, ok, w)
+		}
+	}
+	if len(got.MDStepCycles) != len(want.MDStepCycles) {
+		t.Errorf("mdstep entry count %d, golden %d", len(got.MDStepCycles), len(want.MDStepCycles))
+	}
+	for k, w := range want.MDStepCycles {
+		if g, ok := got.MDStepCycles[k]; !ok || g != w {
+			t.Errorf("mdstep_cycles_2x2x2[%q] = %d (present %v), golden %d", k, g, ok, w)
 		}
 	}
 

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"anton2/internal/exp"
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/trace"
+	"anton2/internal/workload"
+)
+
+// The mdstep experiment family measures the machine's actual figure of
+// merit: end-to-end MD timestep time. One point = one routing strategy
+// running the phased workload (halo exchange, multicast force distribution,
+// global reduction) on one machine config; a sweep covers the whole
+// strategy registry. Unlike throughput families the headline number is
+// latency-like — cycles from the first halo injection to global-reduction
+// quiescence — so lower is better.
+
+// MDStepConfig describes one mdstep point.
+type MDStepConfig struct {
+	// Machine carries the strategy under test in its Scheme field. Its
+	// Multicast tables are derived from Workload — callers leave them nil.
+	Machine machine.Config
+	// Workload parameterizes the timestep (zero fields = defaults).
+	Workload workload.Spec
+	// MaxPhaseCycles bounds each phase (0 = a volume-scaled default).
+	MaxPhaseCycles uint64
+}
+
+// MDStepPoint is one measured mdstep cell.
+type MDStepPoint struct {
+	Strategy string `json:"strategy"`
+	// Workload is the spec canonical (defaults applied).
+	Workload  string `json:"workload"`
+	Timesteps int    `json:"timesteps"`
+
+	// Phases reports every (timestep, phase) window in execution order.
+	Phases []workload.PhaseResult `json:"phases"`
+	// TotalCycles is the end-to-end timestep time across all timesteps;
+	// TotalNS converts it at the paper's 1.5 GHz clock.
+	TotalCycles       uint64  `json:"total_cycles"`
+	TotalNS           float64 `json:"total_ns"`
+	CyclesPerTimestep float64 `json:"cycles_per_timestep"`
+}
+
+// SimCycles lets exp record simulated cycle counts in artifacts.
+func (p MDStepPoint) SimCycles() uint64 { return p.TotalCycles }
+
+// mdstepMachine finalizes a point's machine config: default strategy and
+// the workload's multicast tables.
+func mdstepMachine(cfg MDStepConfig) (machine.Config, workload.Spec, error) {
+	mc := cfg.Machine
+	if mc.Scheme == nil {
+		mc.Scheme = route.AntonScheme{}
+	}
+	spec := cfg.Workload.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return mc, spec, err
+	}
+	tm, err := topo.NewMachine(mc.Shape)
+	if err != nil {
+		return mc, spec, err
+	}
+	mc.Multicast = spec.Tables(tm)
+	return mc, spec, nil
+}
+
+// RunMDStepPoint executes one mdstep measurement.
+func RunMDStepPoint(cfg MDStepConfig) (MDStepPoint, error) {
+	pt, _, err := RunMDStepPointRecorded(cfg, false)
+	return pt, err
+}
+
+// RunMDStepPointRecorded is RunMDStepPoint with an optional traffic capture:
+// when record is set, every injection is recorded into the internal/trace
+// format, and ReplayMDStepTrace replays the capture to identical per-phase
+// cycle counts.
+func RunMDStepPointRecorded(cfg MDStepConfig, record bool) (MDStepPoint, *trace.Trace, error) {
+	mc, spec, err := mdstepMachine(cfg)
+	if err != nil {
+		return MDStepPoint{}, nil, err
+	}
+	pt := MDStepPoint{Strategy: mc.Scheme.Name(), Workload: spec.Canonical(), Timesteps: spec.Timesteps}
+	m, _, err := BuildMachine(mc)
+	if err != nil {
+		return pt, nil, err
+	}
+	var rec *trace.Recorder
+	if record {
+		rec = trace.NewRecorder(spec.Header(mc.Shape, mc.Seed))
+	}
+	res, err := workload.Run(m, spec, rec, cfg.MaxPhaseCycles)
+	if err != nil {
+		return pt, nil, fmt.Errorf("core: mdstep %s: %w", pt.Strategy, err)
+	}
+	if err := m.FinishChecks(); err != nil {
+		return pt, nil, fmt.Errorf("core: mdstep %s: %w", pt.Strategy, err)
+	}
+	pt.Phases = res.Phases
+	pt.TotalCycles = res.TotalCycles
+	pt.TotalNS = res.TotalNS
+	pt.CyclesPerTimestep = float64(res.TotalCycles) / float64(spec.Timesteps)
+	var tr *trace.Trace
+	if rec != nil {
+		tr = rec.Trace()
+	}
+	return pt, tr, nil
+}
+
+// ReplayMDStepTrace rebuilds the point's machine and replays a capture
+// through it, returning the replayed per-phase timing for comparison against
+// the original run.
+func ReplayMDStepTrace(cfg MDStepConfig, tr *trace.Trace) (workload.Result, error) {
+	mc, _, err := mdstepMachine(cfg)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	m, _, err := BuildMachine(mc)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	res, err := workload.ReplayTrace(m, tr, cfg.MaxPhaseCycles)
+	if err != nil {
+		return res, err
+	}
+	if err := m.FinishChecks(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// MDStepSpec canonically identifies one mdstep point. The strategy enters
+// through addMachine's scheme name and the workload through its canonical
+// token, so the cache key pins (machine config, strategy, workload spec).
+// The derived multicast tables are intentionally absent: they are a pure
+// function of (shape, workload), which the key already holds.
+func MDStepSpec(cfg MDStepConfig) *exp.Spec {
+	s := exp.NewSpec("mdstep")
+	addMachine(s, cfg.Machine)
+	return s.Add("workload", cfg.Workload.WithDefaults().Canonical()).
+		Add("maxcycles", cfg.MaxPhaseCycles)
+}
+
+// MDStepJob wraps one RunMDStepPoint call for the orchestrator.
+func MDStepJob(cfg MDStepConfig) exp.Job {
+	return exp.Job{Spec: MDStepSpec(cfg), Run: func(seed uint64) (any, error) {
+		c := cfg
+		c.Machine.Seed = seed
+		return RunMDStepPoint(c)
+	}}
+}
+
+// MDStepJobs builds one job per registered routing strategy, in registry
+// (name) order so the job list — and the artifact — is deterministic.
+func MDStepJobs(base machine.Config, spec workload.Spec, maxPhaseCycles uint64) []exp.Job {
+	var jobs []exp.Job
+	for _, strat := range route.Strategies() {
+		c := MDStepConfig{Machine: base, Workload: spec, MaxPhaseCycles: maxPhaseCycles}
+		c.Machine.Scheme = strat
+		jobs = append(jobs, MDStepJob(c))
+	}
+	return jobs
+}
+
+// MDStepSweepOpts runs the strategy sweep through the orchestrator.
+func MDStepSweepOpts(base machine.Config, spec workload.Spec, maxPhaseCycles uint64, opts exp.Options) ([]MDStepPoint, error) {
+	return collect[MDStepPoint](exp.Run(MDStepJobs(base, spec, maxPhaseCycles), opts))
+}

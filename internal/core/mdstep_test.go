@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/workload"
+)
+
+func mdstepTestSpec() workload.Spec {
+	return workload.Spec{HaloPackets: 4, HaloBurst: 2, Multicasts: 1, ReducePackets: 1, Timesteps: 1}
+}
+
+// TestMDStepJobsCoverRegistry: the sweep emits exactly one job per
+// registered strategy, each keyed by that strategy and the workload token.
+func TestMDStepJobsCoverRegistry(t *testing.T) {
+	mc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+	jobs := MDStepJobs(mc, mdstepTestSpec(), 0)
+	strats := route.Strategies()
+	if len(jobs) != len(strats) {
+		t.Fatalf("got %d jobs for %d registered strategies", len(jobs), len(strats))
+	}
+	want := mdstepTestSpec().WithDefaults().Canonical()
+	for i, j := range jobs {
+		key := j.Spec.Canonical()
+		if j.Spec.Kind() != "mdstep" {
+			t.Errorf("job %d kind = %q, want mdstep", i, j.Spec.Kind())
+		}
+		if !strings.Contains(key, "scheme="+strats[i].Name()) {
+			t.Errorf("job %d spec %q does not pin strategy %s", i, key, strats[i].Name())
+		}
+		if !strings.Contains(key, "workload="+want) {
+			t.Errorf("job %d spec %q does not pin workload %s", i, key, want)
+		}
+	}
+}
+
+// TestMDStepSpecEngineInvariant: engine selection must not enter the cache
+// key — the artifact is byte-identical across engines, so cached points are
+// shareable.
+func TestMDStepSpecEngineInvariant(t *testing.T) {
+	a := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+	b := a
+	b.Engine = machine.EngineScan
+	c := a
+	c.Shards = 4
+	ref := MDStepSpec(MDStepConfig{Machine: a, Workload: mdstepTestSpec()}).Canonical()
+	for name, mc := range map[string]machine.Config{"scan": b, "sharded": c} {
+		if got := MDStepSpec(MDStepConfig{Machine: mc, Workload: mdstepTestSpec()}).Canonical(); got != ref {
+			t.Errorf("%s engine changed the cache key:\n%s\nvs\n%s", name, got, ref)
+		}
+	}
+	other := mdstepTestSpec()
+	other.Timesteps = 2
+	if got := MDStepSpec(MDStepConfig{Machine: a, Workload: other}).Canonical(); got == ref {
+		t.Error("different workloads share a cache key")
+	}
+}
+
+// TestMDStepCheckedRecordReplay runs one recorded point per strategy under
+// the full runtime invariant suite, then replays the capture on a rebuilt
+// machine: the replay must reproduce every per-phase window exactly. This is
+// the core-level statement of the trace acceptance criterion.
+func TestMDStepCheckedRecordReplay(t *testing.T) {
+	for _, strat := range route.Strategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			mc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+			mc.Check = true
+			mc.Scheme = strat
+			cfg := MDStepConfig{Machine: mc, Workload: mdstepTestSpec()}
+			pt, tr, err := RunMDStepPointRecorded(cfg, true)
+			if err != nil {
+				t.Fatalf("recorded run: %v", err)
+			}
+			if tr == nil || len(tr.Events) == 0 {
+				t.Fatal("recorded run captured no events")
+			}
+			if pt.TotalCycles == 0 || len(pt.Phases) != 3 {
+				t.Fatalf("point = %d cycles over %d phases, want a 3-phase timestep", pt.TotalCycles, len(pt.Phases))
+			}
+			rep, err := ReplayMDStepTrace(cfg, tr)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !reflect.DeepEqual(rep.Phases, pt.Phases) {
+				t.Errorf("replay phases diverged:\n%+v\nvs\n%+v", rep.Phases, pt.Phases)
+			}
+			if rep.TotalCycles != pt.TotalCycles {
+				t.Errorf("replay total %d cycles, original %d", rep.TotalCycles, pt.TotalCycles)
+			}
+		})
+	}
+}

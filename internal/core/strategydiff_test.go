@@ -12,6 +12,7 @@ import (
 	"anton2/internal/route"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
+	"anton2/internal/workload"
 )
 
 // This file is the strategy-differential regression net, the companion to
@@ -136,6 +137,22 @@ func TestStrategyDiffRouteCompare(t *testing.T) {
 		mc := machine.DefaultConfig(stratShape)
 		mutate(&mc)
 		return RouteCompareJobs(mc, traffic.Uniform{}, 4, []int{0, 1}, 0)
+	})
+}
+
+func TestStrategyDiffMDStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy differential sweep is slow")
+	}
+	// The mdstep sweep spans the registry itself, so one diffFamily call
+	// covers every strategy's phased-timestep timing. The phase barriers are
+	// the engine-sensitive part: each phase ends when the fabric quiesces,
+	// and all three engine variants must agree on every quiescence cycle.
+	diffFamily(t, "mdstep", func(mutate func(*machine.Config)) []exp.Job {
+		mc := machine.DefaultConfig(stratShape)
+		mutate(&mc)
+		spec := workload.Spec{HaloPackets: 4, HaloBurst: 2, Multicasts: 1, ReducePackets: 1, Timesteps: 1}
+		return MDStepJobs(mc, spec, 0)
 	})
 }
 

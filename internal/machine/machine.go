@@ -654,6 +654,14 @@ func (m *Machine) quiet() bool {
 	return true
 }
 
+// Quiet reports whether the fabric is fully quiescent: no packets in queues
+// and no packets or credits in flight on any channel. It is the phase-barrier
+// predicate of the workload layer, which steps the engine manually until
+// Quiet holds (RunUntil's idle-cycle jumping would observe quiescence at an
+// engine-dependent cycle). Call it only between engine steps, never from a
+// hook running inside one.
+func (m *Machine) Quiet() bool { return m.quiet() }
+
 // drainBudget bounds the post-measurement drain in FinishChecks. Worst case
 // is a torus channel's full VC buffers serializing out at ~3.2 cycles/flit;
 // 1<<16 cycles covers that with wide margin on every supported shape.

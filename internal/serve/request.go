@@ -15,6 +15,7 @@ import (
 	"anton2/internal/telemetry"
 	"anton2/internal/topo"
 	"anton2/internal/traffic"
+	"anton2/internal/workload"
 )
 
 // Request is one experiment submission: a family (the same families
@@ -24,7 +25,7 @@ import (
 // share one content-addressed artifact forever.
 type Request struct {
 	// Family selects the experiment: throughput, blend, latency, energy,
-	// faultsweep, or routecompare.
+	// faultsweep, routecompare, or mdstep.
 	Family string `json:"family"`
 	// Shape is the torus shape, e.g. "4x4x2" (ignored by energy, which
 	// always measures the single-node loop machine like Figure 13).
@@ -58,6 +59,17 @@ type Request struct {
 	// FailLinks are the routecompare permanent-outage sweep points
 	// (default [0], the healthy machine).
 	FailLinks []int `json:"faillinks,omitempty"`
+	// The mdstep workload knobs; zero values take the workload defaults
+	// (radius-1 halo of 8 packets in bursts of 4, 2 multicasts at fanout
+	// radius 1, 2 reduction packets per node, 1 timestep). Strategies
+	// selects the routing strategies to sweep, as in routecompare.
+	Halo          int `json:"halo,omitempty"`
+	HaloPackets   int `json:"halopackets,omitempty"`
+	HaloBurst     int `json:"haloburst,omitempty"`
+	Fanout        int `json:"fanout,omitempty"`
+	Multicasts    int `json:"multicasts,omitempty"`
+	ReducePackets int `json:"reducepackets,omitempty"`
+	Timesteps     int `json:"timesteps,omitempty"`
 }
 
 // RequestError is a validation failure: the submission never reached the
@@ -157,10 +169,12 @@ func (q *Request) compile() (*compiled, error) {
 		return q.compileFaultsweep()
 	case "routecompare":
 		return q.compileRouteCompare()
+	case "mdstep":
+		return q.compileMDStep()
 	case "":
-		return nil, badField("family", "missing (throughput, blend, latency, energy, faultsweep, routecompare)")
+		return nil, badField("family", "missing (throughput, blend, latency, energy, faultsweep, routecompare, mdstep)")
 	default:
-		return nil, badField("family", "unknown family %q (throughput, blend, latency, energy, faultsweep, routecompare)", q.Family)
+		return nil, badField("family", "unknown family %q (throughput, blend, latency, energy, faultsweep, routecompare, mdstep)", q.Family)
 	}
 }
 
@@ -475,6 +489,51 @@ func (q *Request) compileRouteCompare() (*compiled, error) {
 					VerifyDeadlock: n == 0,
 				}))
 			}
+		}
+		return jobs
+	}
+	return &compiled{spec: spec, build: build}, nil
+}
+
+func (q *Request) compileMDStep() (*compiled, error) {
+	shape, err := q.shape()
+	if err != nil {
+		return nil, err
+	}
+	wl := workload.Spec{
+		HaloRadius: q.Halo, HaloPackets: q.HaloPackets, HaloBurst: q.HaloBurst,
+		FanoutRadius: q.Fanout, Multicasts: q.Multicasts,
+		ReducePackets: q.ReducePackets, Timesteps: q.Timesteps,
+	}.WithDefaults()
+	if err := wl.Validate(); err != nil {
+		return nil, badField("workload", "%v", err)
+	}
+	names := q.Strategies
+	if len(names) == 0 {
+		names = route.StrategyNames()
+	}
+	strats := make([]route.Strategy, 0, len(names))
+	for _, n := range names {
+		s, ok := route.StrategyByName(n)
+		if !ok {
+			return nil, badField("strategies", "unknown strategy %q (registered: %s)", n, strList(route.StrategyNames()))
+		}
+		strats = append(strats, s)
+	}
+	if len(strats) > maxSweepPoints {
+		return nil, badField("strategies", "%d points exceed the %d-point sweep bound", len(strats), maxSweepPoints)
+	}
+	spec := exp.NewSpec("serve-mdstep").
+		Add("shape", shape).Add("workload", wl.Canonical()).Add("strategies", strList(names))
+	build := func(tel func() *telemetry.Options) []exp.Job {
+		jobs := make([]exp.Job, 0, len(strats))
+		for _, strat := range strats {
+			// Mirrors anton2bench mdstep: one point per strategy, the same
+			// phased workload, multicast tables derived inside core.
+			mc := machine.DefaultConfig(shape)
+			mc.Telemetry = tel()
+			mc.Scheme = strat
+			jobs = append(jobs, core.MDStepJob(core.MDStepConfig{Machine: mc, Workload: wl}))
 		}
 		return jobs
 	}

@@ -223,6 +223,8 @@ func TestValidationRejects(t *testing.T) {
 		{"bad fault spec", `{"family":"faultsweep","shape":"2x2x2","rates":[0],"batch":8,"fault":"bogus=1"}`, "fault"},
 		{"unknown strategy", `{"family":"routecompare","shape":"2x2x2","batch":8,"strategies":["warp"]}`, "strategies"},
 		{"negative faillinks", `{"family":"routecompare","shape":"2x2x2","batch":8,"faillinks":[-1]}`, "faillinks"},
+		{"mdstep bad workload", `{"family":"mdstep","shape":"2x2x2","halopackets":-4}`, "workload"},
+		{"mdstep unknown strategy", `{"family":"mdstep","shape":"2x2x2","strategies":["warp"]}`, "strategies"},
 		{"unknown field", `{"family":"latency","shape":"2x2x2","turbo":true}`, ""},
 		{"malformed", `{"family":`, ""},
 	}
@@ -539,6 +541,63 @@ func TestRouteCompareServed(t *testing.T) {
 		strategies[r.Value.Strategy] = true
 		if r.Value.FailLinks == 0 && !r.Value.DeadlockFree {
 			t.Errorf("point %d: healthy %s cell not verified deadlock-free", i, r.Value.Strategy)
+		}
+	}
+	if len(strategies) < 4 {
+		t.Errorf("artifact scores %d strategies, want >= 4: %v", len(strategies), strategies)
+	}
+}
+
+// TestMDStepServed: the mdstep family is servable, and the returned artifact
+// reports per-phase and total timestep time for every registered strategy —
+// the same points anton2bench's mdstep experiment computes.
+func TestMDStepServed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postWait(t, ts, &Request{
+		Family:      "mdstep",
+		Shape:       "2x2x2",
+		HaloPackets: 4,
+		HaloBurst:   2,
+		Multicasts:  1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var artifact struct {
+		Results []struct {
+			Error string `json:"error"`
+			Value struct {
+				Strategy    string `json:"strategy"`
+				Workload    string `json:"workload"`
+				TotalCycles uint64 `json:"total_cycles"`
+				Phases      []struct {
+					Phase  string `json:"phase"`
+					Cycles uint64 `json:"cycles"`
+				} `json:"phases"`
+			} `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[string]bool{}
+	for i, r := range artifact.Results {
+		if r.Error != "" {
+			t.Errorf("point %d failed: %s", i, r.Error)
+			continue
+		}
+		strategies[r.Value.Strategy] = true
+		if r.Value.Workload != "h1.4.2-m1.1-r2-t1" {
+			t.Errorf("point %d workload = %q, want defaults applied to the request knobs", i, r.Value.Workload)
+		}
+		if r.Value.TotalCycles == 0 || len(r.Value.Phases) != 3 {
+			t.Errorf("point %d: %d cycles over %d phase rows, want a timed 3-phase timestep",
+				i, r.Value.TotalCycles, len(r.Value.Phases))
+		}
+		for _, ph := range r.Value.Phases {
+			if ph.Cycles == 0 {
+				t.Errorf("point %d: phase %s reports zero cycles", i, ph.Phase)
+			}
 		}
 	}
 	if len(strategies) < 4 {

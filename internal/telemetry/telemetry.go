@@ -23,6 +23,7 @@ import (
 	"anton2/internal/packet"
 	"anton2/internal/stats"
 	"anton2/internal/topo"
+	"anton2/internal/trace"
 )
 
 // Defaults for the zero Options value.
@@ -70,6 +71,13 @@ type Options struct {
 	// the callback must not touch simulation state, and it runs on the
 	// simulating goroutine, so it must be fast and non-blocking.
 	Progress func(elapsedCycles uint64)
+	// InjectionSink, when non-nil, receives one trace.Event per unicast
+	// injection (multicast clones and circulating packets are skipped),
+	// carrying the packet's route choices so a run's traffic can be
+	// captured in the internal/trace recorded-trace format and replayed.
+	// Like Progress it runs on the simulating goroutine and must not
+	// touch simulation state.
+	InjectionSink func(trace.Event)
 }
 
 // Env carries the observed machine's geometry and state accessors. It is
@@ -275,6 +283,9 @@ func (c *Collector) OnAdapterGrant(egress bool, node, adapter, vc int) {
 func (c *Collector) OnInject(p *packet.Packet, now uint64) {
 	if p.Circulate || p.MGroup >= 0 {
 		return
+	}
+	if c.opts.InjectionSink != nil {
+		c.opts.InjectionSink(trace.FromPacket(p, now))
 	}
 	if p.Trace == nil {
 		if c.traceBudget <= 0 {

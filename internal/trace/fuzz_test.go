@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceCodec feeds arbitrary bytes through Decode — which must never
+// panic — and checks the codec's canonical-form contract on everything it
+// accepts: Encode(Decode(x)) succeeds and is a fixed point of the round trip.
+func FuzzTraceCodec(f *testing.F) {
+	if seed, err := sampleTrace().Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"format":"anton2-trace","version":1,"shape":"2x2x2","seed":1}` + "\n"))
+	f.Add([]byte(`{"format":"anton2-trace","version":1,"shape":"2x2x2","seed":1}` + "\n" +
+		`{"t":0,"p":1,"c":9,"k":"m","sn":1,"se":0,"dn":0,"de":0,"cl":1,"sz":0,"sl":0,"ti":[0,0,0],"g":3}` + "\n"))
+	f.Add([]byte("not a trace"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("Encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of canonical encoding failed: %v\n%s", err, enc)
+		}
+		enc2, err := tr2.Encode()
+		if err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

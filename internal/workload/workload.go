@@ -1,0 +1,392 @@
+// Package workload models an MD timestep as dependent communication phases —
+// the application-shaped traffic the Anton 2 network exists to serve. A
+// timestep is three phases run back to back on one machine:
+//
+//	halo      — every core exchanges position data with nodes within an
+//	            n-hop neighborhood, in bursts (traffic.Bursty over NHop)
+//	multicast — every node distributes forces to its plane neighborhood
+//	            through the compiled multicast tables of Section 2.3
+//	reduce    — all cores send partial sums to the root node's cores
+//	            (the global reduction closing the timestep)
+//
+// A phase completes when all of its deliveries have arrived and the fabric
+// is quiescent (machine.Quiet) — the phase barrier — and the next phase's
+// injections start on that exact cycle. The result is end-to-end timestep
+// time, cycles per phase and total, rather than steady-state throughput.
+//
+// Quiescence is detected by stepping the engine manually, never through
+// RunUntil: active-mode idle-cycle jumping would observe the quiet fabric at
+// an engine-dependent cycle, and phase times must be bit-identical across
+// the scan, active, and sharded kernels.
+//
+// Runs can record their injections into the internal/trace format
+// (route choices captured pre strategy-Choose), and ReplayTrace re-injects a
+// capture on a fresh identically-configured machine, reproducing the
+// original per-phase cycle counts exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anton2/internal/machine"
+	"anton2/internal/multicast"
+	"anton2/internal/packet"
+	"anton2/internal/route"
+	"anton2/internal/sim"
+	"anton2/internal/topo"
+	"anton2/internal/trace"
+	"anton2/internal/traffic"
+)
+
+// Phase indices, in execution order.
+const (
+	PhaseHalo = iota
+	PhaseMulticast
+	PhaseReduce
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"halo", "multicast", "reduce"}
+
+// PhaseName returns the report name of a phase index.
+func PhaseName(i int) string {
+	if i >= 0 && i < numPhases {
+		return phaseNames[i]
+	}
+	return fmt.Sprintf("phase%d", i)
+}
+
+// Spec parameterizes one MD timestep. The zero value of any field means its
+// default; Canonical strings (and therefore experiment cache keys) are always
+// written with defaults applied.
+type Spec struct {
+	// HaloRadius is the neighbor-exchange locality in hops per dimension
+	// (default 1: the 26-node neighborhood).
+	HaloRadius int
+	// HaloPackets is the number of halo packets each core sends per
+	// timestep (default 8), in bursts of mean length HaloBurst (default 4).
+	HaloPackets int
+	HaloBurst   int
+	// FanoutRadius is the plane-neighborhood radius of the force
+	// multicast (default 1: the 3x3 XY plane around each node).
+	FanoutRadius int
+	// Multicasts is the number of multicast rounds each node injects per
+	// timestep, alternating torus slices (default 2).
+	Multicasts int
+	// ReducePackets is the number of reduction packets each non-root core
+	// sends to the root node (default 2).
+	ReducePackets int
+	// Timesteps is the number of timesteps run back to back (default 1).
+	Timesteps int
+}
+
+// DefaultSpec is the baseline timestep used by the mdstep experiment family.
+func DefaultSpec() Spec {
+	return Spec{HaloRadius: 1, HaloPackets: 8, HaloBurst: 4, FanoutRadius: 1, Multicasts: 2, ReducePackets: 2, Timesteps: 1}
+}
+
+// WithDefaults replaces zero fields with their defaults.
+func (s Spec) WithDefaults() Spec {
+	d := DefaultSpec()
+	if s.HaloRadius == 0 {
+		s.HaloRadius = d.HaloRadius
+	}
+	if s.HaloPackets == 0 {
+		s.HaloPackets = d.HaloPackets
+	}
+	if s.HaloBurst == 0 {
+		s.HaloBurst = d.HaloBurst
+	}
+	if s.FanoutRadius == 0 {
+		s.FanoutRadius = d.FanoutRadius
+	}
+	if s.Multicasts == 0 {
+		s.Multicasts = d.Multicasts
+	}
+	if s.ReducePackets == 0 {
+		s.ReducePackets = d.ReducePackets
+	}
+	if s.Timesteps == 0 {
+		s.Timesteps = d.Timesteps
+	}
+	return s
+}
+
+// Validate rejects nonsensical or service-abusive specs. Bounds are loose —
+// they exist so a bad request cannot ask the experiment server for an
+// unbounded amount of simulation.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	check := func(name string, v, lo, hi int) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("workload: %s = %d outside [%d, %d]", name, v, lo, hi)
+		}
+		return nil
+	}
+	for _, err := range []error{
+		check("haloradius", s.HaloRadius, 1, 8),
+		check("halopackets", s.HaloPackets, 1, 1024),
+		check("haloburst", s.HaloBurst, 1, 256),
+		check("fanoutradius", s.FanoutRadius, 1, 8),
+		check("multicasts", s.Multicasts, 1, 64),
+		check("reducepackets", s.ReducePackets, 1, 256),
+		check("timesteps", s.Timesteps, 1, 64),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Canonical renders the spec (defaults applied) as a single deterministic
+// token for experiment cache keys and trace headers.
+func (s Spec) Canonical() string {
+	s = s.WithDefaults()
+	return fmt.Sprintf("h%d.%d.%d-m%d.%d-r%d-t%d",
+		s.HaloRadius, s.HaloPackets, s.HaloBurst, s.FanoutRadius, s.Multicasts, s.ReducePackets, s.Timesteps)
+}
+
+// GroupID maps (root node, torus slice) to the multicast group id Tables
+// assigns.
+func GroupID(node, slice int) int { return node*topo.NumSlices + slice }
+
+// Tables compiles the force-distribution multicast tables the spec's
+// multicast phase uses: for every node, one plane-neighborhood group per
+// torus slice, rooted at the node's first core endpoint. PlaneNeighborhood
+// does not dedupe wrap-aliased destinations on small radices, so Tables
+// does; nodes whose neighborhood collapses entirely (degenerate shapes) get
+// no groups, and Run then skips the multicast phase.
+func (s Spec) Tables(tm *topo.Machine) map[int]*multicast.Compiled {
+	s = s.WithDefaults()
+	out := make(map[int]*multicast.Compiled)
+	for n := 0; n < tm.NumNodes(); n++ {
+		dests := s.fanoutDests(tm, n)
+		if len(dests) == 0 {
+			continue
+		}
+		root := tm.Shape.Coord(n)
+		for sl := 0; sl < topo.NumSlices; sl++ {
+			out[GroupID(n, sl)] = multicast.Build(tm.Shape, root, dests, topo.AllDimOrders[0], sl).Compile(tm.Shape)
+		}
+	}
+	return out
+}
+
+// fanoutDests is the deduped plane neighborhood of node n, excluding the
+// node itself.
+func (s Spec) fanoutDests(tm *topo.Machine, n int) []topo.NodeEp {
+	ep := tm.Chip.CoreEndpoints()[0]
+	seen := map[topo.NodeEp]bool{}
+	var dests []topo.NodeEp
+	for _, d := range multicast.PlaneNeighborhood(tm.Shape, tm.Shape.Coord(n), topo.DimX, topo.DimY, s.FanoutRadius, ep) {
+		if d.Node == n || seen[d] {
+			continue
+		}
+		seen[d] = true
+		dests = append(dests, d)
+	}
+	return dests
+}
+
+// PhaseResult reports one phase of one timestep. Injected counts logical
+// injection operations (packets for unicast phases, multicast roots for the
+// multicast phase); Delivered counts endpoint deliveries.
+type PhaseResult struct {
+	Timestep   int    `json:"timestep"`
+	Phase      string `json:"phase"`
+	Injected   uint64 `json:"injected"`
+	Delivered  uint64 `json:"delivered"`
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	Cycles     uint64 `json:"cycles"`
+}
+
+// Result is the end-to-end timestep-time report of a run.
+type Result struct {
+	Phases      []PhaseResult `json:"phases"`
+	TotalCycles uint64        `json:"total_cycles"`
+	TotalNS     float64       `json:"total_ns"`
+}
+
+func (r *Result) finish() {
+	if len(r.Phases) == 0 {
+		return
+	}
+	r.TotalCycles = r.Phases[len(r.Phases)-1].EndCycle - r.Phases[0].StartCycle
+	r.TotalNS = machine.CyclesToNS(float64(r.TotalCycles))
+}
+
+// quiesceBudget bounds the phase-barrier drain, same rationale as the
+// machine's FinishChecks drain budget.
+const quiesceBudget = 1 << 16
+
+func defaultPhaseBudget(expected uint64) uint64 { return 400_000 + 64*expected }
+
+// runPhase injects one phase's traffic, runs the fabric until every expected
+// delivery has arrived, then steps until quiescence — the phase barrier.
+// Stepping manually keeps the observed quiescence cycle engine-invariant.
+func runPhase(m *machine.Machine, ts, idx int, maxPhaseCycles uint64, inject func() (injected, expected uint64, err error)) (PhaseResult, error) {
+	start := m.Engine.Now()
+	before := m.Delivered()
+	injected, expected, err := inject()
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	if expected > 0 {
+		budget := maxPhaseCycles
+		if budget == 0 {
+			budget = defaultPhaseBudget(expected)
+		}
+		if _, err := m.RunUntilDelivered(before+expected, budget); err != nil {
+			return PhaseResult{}, fmt.Errorf("workload: %s phase (timestep %d): %w", PhaseName(idx), ts, err)
+		}
+	}
+	for i := 0; i < quiesceBudget && !m.Quiet(); i++ {
+		m.Engine.Step()
+	}
+	if !m.Quiet() {
+		return PhaseResult{}, fmt.Errorf("workload: %s phase (timestep %d) failed to quiesce within %d cycles", PhaseName(idx), ts, quiesceBudget)
+	}
+	end := m.Engine.Now()
+	return PhaseResult{
+		Timestep: ts, Phase: PhaseName(idx),
+		Injected: injected, Delivered: m.Delivered() - before,
+		StartCycle: start, EndCycle: end, Cycles: end - start,
+	}, nil
+}
+
+// Run executes the spec's timesteps on m and reports per-phase and total
+// cycle counts. The machine should be freshly built with the spec's Tables
+// loaded (core.RunMDStepPoint does both); rec, when non-nil, captures every
+// injection for later replay. Route choices are drawn from per-source rngs
+// seeded by the machine seed and recorded pre strategy-Choose, so a run is
+// fully determined by (machine config, spec) and a capture replays
+// identically under the same strategy.
+func Run(m *machine.Machine, spec Spec, rec *trace.Recorder, maxPhaseCycles uint64) (Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	tm := m.Topo
+	if tm.NumNodes() < 2 {
+		return Result{}, fmt.Errorf("workload: shape %s too small for an MD timestep", tm.Shape)
+	}
+	cores := tm.Chip.CoreEndpoints()
+	rngs := make([][]*rand.Rand, tm.NumNodes())
+	for n := range rngs {
+		rngs[n] = make([]*rand.Rand, len(cores))
+		for i, ep := range cores {
+			rngs[n][i] = sim.NewRNG(m.Cfg.Seed, fmt.Sprintf("wl-%d-%d", n, ep))
+		}
+	}
+	halo := traffic.NewBursty(traffic.NHop{N: spec.HaloRadius}, spec.HaloBurst)
+	hasMcast := m.Cfg.Multicast[GroupID(0, 0)] != nil
+	if !hasMcast && len(spec.fanoutDests(tm, 0)) > 0 {
+		return Result{}, fmt.Errorf("workload: machine built without the spec's multicast tables (load Spec.Tables into Config.Multicast)")
+	}
+	record := func(ev trace.Event) {
+		if rec != nil {
+			rec.Record(ev)
+		}
+	}
+
+	var res Result
+	for ts := 0; ts < spec.Timesteps; ts++ {
+		haloInject := func() (uint64, uint64, error) {
+			var count uint64
+			for n := 0; n < tm.NumNodes(); n++ {
+				for ci, epid := range cores {
+					src := topo.NodeEp{Node: n, Ep: epid}
+					e := m.Endpoint(src)
+					rng := rngs[n][ci]
+					for k := 0; k < spec.HaloPackets; k++ {
+						dst := halo.Dest(tm, src, rng)
+						c := route.RandomChoices(rng)
+						p := m.MakePacket(src, dst, c, route.ClassRequest, 0, packet.MaxFlits)
+						e.Inject(p)
+						record(trace.Event{
+							Timestep: ts, Phase: PhaseHalo, Cycle: p.InjectedAt, Kind: trace.KindUnicast,
+							SrcNode: n, SrcEp: epid, DstNode: dst.Node, DstEp: dst.Ep,
+							Class: int(route.ClassRequest), Size: packet.MaxFlits,
+							Order: c.Order.String(), Slice: int(c.Slice), Ties: c.Ties,
+						})
+						count++
+					}
+				}
+			}
+			return count, count, nil
+		}
+		mcastInject := func() (uint64, uint64, error) {
+			var count, expected uint64
+			for n := 0; n < tm.NumNodes(); n++ {
+				src := topo.NodeEp{Node: n, Ep: cores[0]}
+				for k := 0; k < spec.Multicasts; k++ {
+					sl := (n + k) % topo.NumSlices
+					gid := GroupID(n, sl)
+					expected += uint64(m.InjectMulticast(src, gid, route.ClassRequest, 0))
+					record(trace.Event{
+						Timestep: ts, Phase: PhaseMulticast, Cycle: m.Engine.Now(), Kind: trace.KindMulticast,
+						SrcNode: n, SrcEp: cores[0], Class: int(route.ClassRequest), Group: gid,
+					})
+					count++
+				}
+			}
+			return count, expected, nil
+		}
+		reduceInject := func() (uint64, uint64, error) {
+			var count uint64
+			rr := 0
+			for n := 1; n < tm.NumNodes(); n++ {
+				for ci, epid := range cores {
+					src := topo.NodeEp{Node: n, Ep: epid}
+					e := m.Endpoint(src)
+					rng := rngs[n][ci]
+					for k := 0; k < spec.ReducePackets; k++ {
+						dst := topo.NodeEp{Node: 0, Ep: cores[rr%len(cores)]}
+						rr++
+						c := route.RandomChoices(rng)
+						p := m.MakePacket(src, dst, c, route.ClassReply, 0, 1)
+						e.Inject(p)
+						record(trace.Event{
+							Timestep: ts, Phase: PhaseReduce, Cycle: p.InjectedAt, Kind: trace.KindUnicast,
+							SrcNode: n, SrcEp: epid, DstNode: dst.Node, DstEp: dst.Ep,
+							Class: int(route.ClassReply), Size: 1,
+							Order: c.Order.String(), Slice: int(c.Slice), Ties: c.Ties,
+						})
+						count++
+					}
+				}
+			}
+			return count, count, nil
+		}
+
+		phases := []struct {
+			idx    int
+			inject func() (uint64, uint64, error)
+		}{
+			{PhaseHalo, haloInject},
+			{PhaseMulticast, mcastInject},
+			{PhaseReduce, reduceInject},
+		}
+		for _, ph := range phases {
+			if ph.idx == PhaseMulticast && !hasMcast {
+				continue
+			}
+			pr, err := runPhase(m, ts, ph.idx, maxPhaseCycles, ph.inject)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Phases = append(res.Phases, pr)
+		}
+	}
+	res.finish()
+	return res, nil
+}
+
+// Header builds the trace header for a capture of this spec on the given
+// machine config.
+func (s Spec) Header(shape topo.TorusShape, seed uint64) trace.Header {
+	return trace.Header{Format: trace.Format, Version: trace.Version, Shape: shape.String(), Workload: s.Canonical(), Seed: seed}
+}
