@@ -7,6 +7,7 @@
 //	anton2bench [-quick] [-parallel N] [-json dir] [-check] [-telemetry dir]
 //	            [-fault corrupt=0.01,...] [-engine active|scan] [-shards N]
 //	            [-shape KxKxK] [-cpuprofile file] [-memprofile file]
+//	            [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
 //	            [-experiment name]
 //	            [fig4|fig9|fig10|fig11|fig12|fig13|table1|table2|fig3|fig2|deadlock|faultsweep|routecompare|mdstep|kernelbench|all]
 //
@@ -24,6 +25,13 @@
 // and -telemetry). All engine configurations produce bit-identical results
 // and artifacts — the flags change simulation speed only and are excluded
 // from result cache keys.
+//
+// With -checkpoint-dir and -checkpoint-every N, checkpoint-aware experiment
+// points (fig9 throughput, mdstep) persist a resumable snapshot every N
+// cycles; a retried attempt resumes from its last checkpoint, and -resume
+// also resumes first attempts after a whole-process restart. Resumed points
+// are bit-identical to uninterrupted ones. Checkpointing is incompatible
+// with -check and -telemetry.
 //
 // The headline saturation sweeps (fig9, fig10) default to the paper's full
 // 8x8x8 (512-node) machine, made tractable by the active-set engine; -shape
@@ -133,6 +141,9 @@ var (
 	benchOut     *string
 	baselineFlag *string
 	expFlag      *string
+	ckptDir      *string
+	ckptEvery    *uint64
+	resumeFlag   *bool
 
 	// baseFault is the parsed -fault spec; the faultsweep experiment holds
 	// it fixed while sweeping corruption rate.
@@ -158,6 +169,9 @@ func registerFlags(fs *flag.FlagSet) {
 	benchOut = fs.String("benchout", "BENCH_7.json", "kernelbench: write the cycles/sec artifact to this file")
 	baselineFlag = fs.String("baseline", "", "kernelbench: fail if the active/scan speedup ratio regresses >15% against this artifact")
 	expFlag = fs.String("experiment", "", "experiment to run (same as the positional argument)")
+	ckptDir = fs.String("checkpoint-dir", "", "persist crash-recovery checkpoints under this directory")
+	ckptEvery = fs.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 disables; requires -checkpoint-dir)")
+	resumeFlag = fs.Bool("resume", false, "resume interrupted points from their checkpoints in -checkpoint-dir")
 }
 
 const usageHint = "usage: anton2bench [-quick] [-parallel N] [-json dir] [-check] [-fault k=v,...] [experiment] (run with -h for the full list)"
@@ -272,6 +286,17 @@ func run(args []string, stderr io.Writer) int {
 	}
 	if *shardsFlag > 1 && *engineFlag == machine.EngineScan {
 		return reject(fmt.Errorf("sharded stepping requires the active engine"))
+	}
+	if *ckptEvery > 0 || *resumeFlag {
+		if *ckptDir == "" {
+			return reject(fmt.Errorf("-checkpoint-every/-resume require -checkpoint-dir"))
+		}
+		if *ckptEvery == 0 {
+			return reject(fmt.Errorf("-resume requires -checkpoint-every"))
+		}
+		if *checkFlag || *telemetryDir != "" {
+			return reject(fmt.Errorf("checkpointing is incompatible with -check and -telemetry"))
+		}
 	}
 	satShapeOverride = nil
 	if *shapeFlag != "" {
@@ -427,12 +452,16 @@ func printHeatmap() {
 // when -json is set, and returns the results plus an error covering any
 // failed points (the healthy points are still returned and printed).
 func sweep(name string, jobs []exp.Job) ([]exp.Result, error) {
-	rs := exp.Run(jobs, exp.Options{
+	opts := exp.Options{
 		Name:        name,
 		Parallelism: *parallel,
 		Cache:       resultCache,
 		Progress:    os.Stderr,
-	})
+	}
+	if *ckptDir != "" && *ckptEvery > 0 {
+		opts.Checkpoint = exp.CheckpointOptions{Dir: *ckptDir, Every: *ckptEvery, Resume: *resumeFlag}
+	}
+	rs := exp.Run(jobs, opts)
 	if *jsonDir != "" {
 		path, err := exp.WriteArtifacts(*jsonDir, name, rs)
 		if err != nil {

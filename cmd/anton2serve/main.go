@@ -9,6 +9,7 @@
 //
 //	anton2serve [-addr host:port] [-cache dir] [-workers N] [-point-parallel N]
 //	            [-max-queue N] [-queue-timeout d] [-run-timeout d] [-drain-timeout d]
+//	            [-checkpoint-every cycles]
 //	anton2serve -loadtest [-lt-requests N] [-lt-clients N] [-lt-seed N]
 //	            [-lt-shape KxKxK] [-lt-batch N]
 //
@@ -19,13 +20,22 @@
 //	GET  /v1/runs/{id}           run status (state, done/total, cycles)
 //	GET  /v1/runs/{id}/artifact  canonical artifact (202 while running)
 //	GET  /v1/runs/{id}/events    live progress as server-sent events
-//	GET  /healthz                liveness (503 while draining)
+//	GET  /livez                  liveness (always 200 while the process serves)
+//	GET  /readyz                 readiness (503 while recovering the WAL or draining)
+//	GET  /healthz                same as /readyz (poll-until-200 compatible)
 //	GET  /metrics                queue depth, cache hit rate, utilization
 //
 // Invalid submissions are refused with 400 (the CLI's exit-2 cases), a full
 // admission queue with 429, and deadline expiry with 504. SIGINT/SIGTERM
 // triggers a graceful drain: in-flight runs finish (up to -drain-timeout),
 // new submissions get 503, then the process exits.
+//
+// Every admitted run is recorded in a write-ahead log under the cache
+// directory until its artifact is durably persisted, so a killed server
+// re-admits unfinished runs on restart. With -checkpoint-every N, each
+// checkpoint-aware sweep point additionally persists a resumable simulation
+// snapshot at least every N simulated cycles, and a restarted server resumes
+// those points mid-run, bit-identical to an uninterrupted execution.
 //
 // With -loadtest, the binary instead starts a private server instance and
 // drives it with a seeded request mix derived from the repo's own traffic
@@ -60,6 +70,7 @@ var (
 	queueTimeout  *time.Duration
 	runTimeout    *time.Duration
 	drainTimeout  *time.Duration
+	ckptEvery     *uint64
 
 	loadtest   *bool
 	ltRequests *int
@@ -78,6 +89,7 @@ func registerFlags(fs *flag.FlagSet) {
 	queueTimeout = fs.Duration("queue-timeout", 30*time.Second, "max wait for a worker slot before a run fails with 504")
 	runTimeout = fs.Duration("run-timeout", 5*time.Minute, "max run execution time before cancellation with 504")
 	drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before runs are cancelled")
+	ckptEvery = fs.Uint64("checkpoint-every", 0, "persist a resumable per-point snapshot at least every N simulated cycles (0 = off); with the run WAL this makes kill -9 recoverable mid-simulation")
 
 	loadtest = fs.Bool("loadtest", false, "self-load-test: start a private server and drive it with generated traffic")
 	ltRequests = fs.Int("lt-requests", 64, "loadtest: total submissions")
@@ -144,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxQueue:         *maxQueue,
 		QueueTimeout:     *queueTimeout,
 		RunTimeout:       *runTimeout,
+		CheckpointEvery:  *ckptEvery,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, "anton2serve: "+format+"\n", a...)
 		},

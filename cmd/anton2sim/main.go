@@ -8,6 +8,7 @@
 //	          [-arbiter rr|iw] [-batch 256] [-scheme anton|baseline-2n|vcless|angara] [-seed 1] [-json dir] [-check]
 //	          [-fault corrupt=0.01,stall=0.001,...] [-telemetry dir]
 //	          [-engine active|scan] [-shards N]
+//	          [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // -engine selects the cycle kernel: the default active-set scheduler skips
@@ -30,6 +31,12 @@
 // reliable-link retransmission. An invalid spec — malformed syntax, a
 // negative, >1, or NaN rate — is rejected before any simulation starts, with
 // exit status 2.
+//
+// With -checkpoint-dir and -checkpoint-every N, the run persists a complete
+// resumable snapshot (machine state plus driver position) every N cycles,
+// torn-write-safe; -resume restarts an interrupted run from its last
+// checkpoint and finishes bit-identically to an uninterrupted one.
+// Checkpointing is incompatible with -check, -telemetry, and -fault runs.
 //
 // With -telemetry, the run executes under the internal/telemetry collector:
 // a JSON report (<dir>/anton2sim.json) with windowed channel utilization,
@@ -93,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memprofile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		engineFlag   = fs.String("engine", "", "cycle engine: active (default) or scan (the reference every-component-every-cycle loop)")
 		shardsFlag   = fs.Int("shards", 0, "step the machine across N goroutine shards (0/1 = serial; requires the active engine)")
+		ckptDir      = fs.String("checkpoint-dir", "", "persist crash-recovery checkpoints under this directory")
+		ckptEvery    = fs.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 disables; requires -checkpoint-dir)")
+		resumeFlag   = fs.Bool("resume", false, "resume an interrupted run from its checkpoint in -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -162,12 +172,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	opts := exp.Serial()
+	if *ckptEvery > 0 || *resumeFlag {
+		if *ckptDir == "" {
+			return reject(fmt.Errorf("-checkpoint-every/-resume require -checkpoint-dir"))
+		}
+		if *ckptEvery == 0 {
+			return reject(fmt.Errorf("-resume requires -checkpoint-every"))
+		}
+		if *checkFlag || *telemetryDir != "" || *faultFlag != "" {
+			return reject(fmt.Errorf("checkpointing is incompatible with -check, -telemetry, and -fault"))
+		}
+		opts.Checkpoint = exp.CheckpointOptions{Dir: *ckptDir, Every: *ckptEvery, Resume: *resumeFlag}
+	}
+
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "anton2sim:", err)
 		return 1
 	}
-	err = simulate(mc, pattern, *batch, *jsonDir, stdout, stderr, &telReport)
+	err = simulate(mc, pattern, *batch, *jsonDir, opts, stdout, stderr, &telReport)
 	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(stderr, "anton2sim:", err)
@@ -176,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func simulate(mc machine.Config, pattern traffic.Pattern, batch int, jsonDir string, stdout, stderr io.Writer, telReport **telemetry.Report) error {
+func simulate(mc machine.Config, pattern traffic.Pattern, batch int, jsonDir string, opts exp.Options, stdout, stderr io.Writer, telReport **telemetry.Report) error {
 	shape := mc.Shape
 	fmt.Fprintf(stdout, "simulating %v, %d cores/node, pattern %s, %s arbiters, %s VC scheme, batch %d\n",
 		shape, topo.NumRouters, pattern.Name(), mc.Arbiter, mc.Scheme.Name(), batch)
@@ -195,7 +219,7 @@ func simulate(mc machine.Config, pattern traffic.Pattern, batch int, jsonDir str
 			Batch:          batch,
 		})
 	}
-	rs := exp.Run([]exp.Job{job}, exp.Serial())
+	rs := exp.Run([]exp.Job{job}, opts)
 	if jsonDir != "" {
 		path, err := exp.WriteArtifacts(jsonDir, "anton2sim", rs)
 		if err != nil {

@@ -1,0 +1,56 @@
+package arbiter
+
+import "fmt"
+
+// This file externalizes arbiter fairness state for checkpointing. The
+// machine only ever instantiates RoundRobin and InverseWeighted (plus the
+// stateless FixedPriority), so a concrete-type switch covers the registry
+// without widening the Arbiter interface.
+
+// State is the serializable fairness position of one arbiter. RoundRobin
+// uses Next; InverseWeighted uses Accum and RRTherm; FixedPriority and other
+// stateless arbiters leave everything zero.
+type State struct {
+	Next    int      `json:"next,omitempty"`
+	Accum   []uint32 `json:"accum,omitempty"`
+	RRTherm uint64   `json:"rrtherm,omitempty"`
+}
+
+// CaptureState snapshots an arbiter's fairness state. Stateless arbiters
+// return the zero State.
+func CaptureState(a Arbiter) (State, error) {
+	switch ar := a.(type) {
+	case *RoundRobin:
+		return State{Next: ar.next}, nil
+	case *InverseWeighted:
+		return State{Accum: ar.Accumulators(), RRTherm: ar.rrTherm}, nil
+	case *FixedPriority:
+		return State{}, nil
+	default:
+		return State{}, fmt.Errorf("arbiter: cannot snapshot %T", a)
+	}
+}
+
+// RestoreState loads a captured fairness position into an arbiter of the
+// same concrete type and width.
+func RestoreState(a Arbiter, st State) error {
+	switch ar := a.(type) {
+	case *RoundRobin:
+		if st.Next < 0 || st.Next >= ar.k {
+			return fmt.Errorf("arbiter: round-robin cursor %d outside [0, %d)", st.Next, ar.k)
+		}
+		ar.next = st.Next
+		return nil
+	case *InverseWeighted:
+		if len(st.Accum) != ar.k {
+			return fmt.Errorf("arbiter: %d accumulators for a %d-input arbiter", len(st.Accum), ar.k)
+		}
+		copy(ar.state.Accum, st.Accum)
+		ar.rrTherm = st.RRTherm
+		return nil
+	case *FixedPriority:
+		return nil
+	default:
+		return fmt.Errorf("arbiter: cannot restore %T", a)
+	}
+}

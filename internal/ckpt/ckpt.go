@@ -1,0 +1,350 @@
+// Package ckpt defines the checkpoint container format: a versioned,
+// strictly-validated JSON-lines encoding of one simulation snapshot, in the
+// spirit of internal/trace's canonical strict codec. A checkpoint is a
+// *frame group*: a header line naming the format version, run tag, and cycle;
+// one line per named section (opaque payload bytes, CRC-covered); and a
+// commit line whose CRC covers every preceding line of the group. The
+// payloads themselves are produced by the layers that own the state
+// (machine snapshots, driver progress); this package only guarantees that
+// what was written is what is read back.
+//
+// Format v1 guarantees:
+//   - Encoding is deterministic: the same Checkpoint always yields the same
+//     bytes, and Encode∘Decode is a fixed point.
+//   - Decode validates structure, per-section CRCs, and the commit CRC, and
+//     never panics on arbitrary input.
+//   - Recover scans arbitrary bytes for complete frame groups and returns
+//     the last valid one — a torn or truncated tail (the crash case) falls
+//     back to the most recent complete checkpoint instead of failing.
+//   - WriteFile is torn-write-safe: temp file + fsync + rename, so a crash
+//     mid-write leaves either the old checkpoint or the new one, never a
+//     mixture.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Format and Version identify checkpoint files produced by this package.
+// Version bumps whenever the frame schema changes incompatibly.
+const (
+	Format  = "anton2-ckpt"
+	Version = 1
+)
+
+// castagnoli is the CRC-32C table shared by section and commit checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crcHex(b []byte) string { return fmt.Sprintf("%08x", crc32.Checksum(b, castagnoli)) }
+
+// ChecksumHex returns the CRC-32C of b as 8 lowercase hex digits — the same
+// checksum the checkpoint frames use, exported so sibling persistence layers
+// (the serve store's artifact sidecars) share one definition.
+func ChecksumHex(b []byte) string { return crcHex(b) }
+
+// Header is the first line of a frame group.
+type Header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Tag identifies the run that wrote the checkpoint (conventionally the
+	// experiment spec canonical string); restore paths reject checkpoints
+	// whose tag does not match the run they are resuming.
+	Tag string `json:"tag,omitempty"`
+	// Cycle is the simulation clock at the snapshot boundary.
+	Cycle uint64 `json:"cycle"`
+	// Sections is the number of section lines that follow.
+	Sections int `json:"sections"`
+}
+
+// sectionLine is one named payload with its own CRC, so a flipped bit in a
+// multi-megabyte machine snapshot is pinned to the section it corrupts.
+type sectionLine struct {
+	Name string `json:"name"`
+	CRC  string `json:"crc"`
+	Data []byte `json:"data"`
+}
+
+// commitLine terminates a frame group. Its CRC covers the raw bytes of every
+// preceding line of the group (header and sections, newlines included): a
+// group without a matching commit line never existed.
+type commitLine struct {
+	Commit int    `json:"commit"`
+	CRC    string `json:"crc"`
+}
+
+// Section is one named opaque payload of a checkpoint.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Checkpoint is a decoded frame group: the snapshot identity plus its
+// sections in written order.
+type Checkpoint struct {
+	Tag      string
+	Cycle    uint64
+	Sections []Section
+}
+
+// New starts a checkpoint for the given run tag and cycle.
+func New(tag string, cycle uint64) *Checkpoint {
+	return &Checkpoint{Tag: tag, Cycle: cycle}
+}
+
+// Add appends a named section.
+func (c *Checkpoint) Add(name string, data []byte) *Checkpoint {
+	c.Sections = append(c.Sections, Section{Name: name, Data: data})
+	return c
+}
+
+// Section returns the named section's payload.
+func (c *Checkpoint) Section(name string) ([]byte, bool) {
+	for _, s := range c.Sections {
+		if s.Name == name {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+func (c *Checkpoint) validate() error {
+	seen := make(map[string]bool, len(c.Sections))
+	for i, s := range c.Sections {
+		if s.Name == "" {
+			return fmt.Errorf("ckpt: section %d: empty name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("ckpt: duplicate section %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// Encode serializes the checkpoint to its canonical JSON-lines frame group.
+// Encoding a valid checkpoint is deterministic: the same Checkpoint always
+// yields the same bytes.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(Header{
+		Format: Format, Version: Version,
+		Tag: c.Tag, Cycle: c.Cycle, Sections: len(c.Sections),
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range c.Sections {
+		if err := enc.Encode(sectionLine{Name: s.Name, CRC: crcHex(s.Data), Data: s.Data}); err != nil {
+			return nil, err
+		}
+	}
+	commit := commitLine{Commit: len(c.Sections), CRC: crcHex(buf.Bytes())}
+	if err := enc.Encode(commit); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeLine strictly unmarshals one JSON-lines record: unknown fields and
+// trailing data are errors.
+func decodeLine(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after record")
+	}
+	return nil
+}
+
+// splitLines splits on '\n' without a scanner so no byte of the input is
+// silently rewritten (bufio's line splitter strips '\r', which would defeat
+// the commit CRC). A trailing fragment with no newline is kept as a line —
+// exactly the shape a torn write produces.
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			lines = append(lines, data)
+			break
+		}
+		lines = append(lines, data[:i])
+		data = data[i+1:]
+	}
+	return lines
+}
+
+// decodeGroup strictly decodes one frame group starting at lines[start].
+// It returns the checkpoint and the number of lines consumed.
+func decodeGroup(lines [][]byte, start int) (*Checkpoint, int, error) {
+	if start >= len(lines) {
+		return nil, 0, errors.New("ckpt: empty input")
+	}
+	var h Header
+	if err := decodeLine(lines[start], &h); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: header: %w", err)
+	}
+	if h.Format != Format {
+		return nil, 0, fmt.Errorf("ckpt: format %q, want %q", h.Format, Format)
+	}
+	if h.Version != Version {
+		return nil, 0, fmt.Errorf("ckpt: version %d, want %d", h.Version, Version)
+	}
+	if h.Sections < 0 {
+		return nil, 0, fmt.Errorf("ckpt: negative section count %d", h.Sections)
+	}
+	need := h.Sections + 2 // header + sections + commit
+	if len(lines)-start < need {
+		return nil, 0, fmt.Errorf("ckpt: truncated group: %d of %d lines", len(lines)-start, need)
+	}
+	c := &Checkpoint{Tag: h.Tag, Cycle: h.Cycle}
+	// The commit CRC covers the raw header and section lines, each with the
+	// '\n' the encoder appended.
+	sum := crc32.Checksum(append(lines[start], '\n'), castagnoli)
+	for i := 0; i < h.Sections; i++ {
+		line := lines[start+1+i]
+		var s sectionLine
+		if err := decodeLine(line, &s); err != nil {
+			return nil, 0, fmt.Errorf("ckpt: section %d: %w", i, err)
+		}
+		if s.Name == "" {
+			return nil, 0, fmt.Errorf("ckpt: section %d: empty name", i)
+		}
+		if got := crcHex(s.Data); got != s.CRC {
+			return nil, 0, fmt.Errorf("ckpt: section %q: crc %s, want %s", s.Name, got, s.CRC)
+		}
+		c.Sections = append(c.Sections, Section{Name: s.Name, Data: s.Data})
+		sum = crc32.Update(sum, castagnoli, append(line, '\n'))
+	}
+	var cm commitLine
+	if err := decodeLine(lines[start+h.Sections+1], &cm); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: commit: %w", err)
+	}
+	if cm.Commit != h.Sections {
+		return nil, 0, fmt.Errorf("ckpt: commit count %d, want %d", cm.Commit, h.Sections)
+	}
+	if want := fmt.Sprintf("%08x", sum); cm.CRC != want {
+		return nil, 0, fmt.Errorf("ckpt: commit crc %s, want %s", cm.CRC, want)
+	}
+	if err := c.validate(); err != nil {
+		return nil, 0, err
+	}
+	return c, need, nil
+}
+
+// Decode parses and validates exactly one checkpoint. It never panics on
+// arbitrary input, and for any input x accepted by Decode,
+// Encode(Decode(x)) is a fixed point of the round trip.
+func Decode(data []byte) (*Checkpoint, error) {
+	lines := splitLines(data)
+	c, used, err := decodeGroup(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if used != len(lines) {
+		return nil, fmt.Errorf("ckpt: %d trailing lines after commit", len(lines)-used)
+	}
+	return c, nil
+}
+
+// Recover scans the input for complete frame groups and returns the last
+// valid one — the newest checkpoint that was fully committed before a crash.
+// Garbage, torn groups, and a truncated tail are skipped; Recover never
+// panics. It fails only when no complete checkpoint exists.
+func Recover(data []byte) (*Checkpoint, error) {
+	lines := splitLines(data)
+	var last *Checkpoint
+	for i := 0; i < len(lines); {
+		c, used, err := decodeGroup(lines, i)
+		if err != nil {
+			i++
+			continue
+		}
+		last = c
+		i += used
+	}
+	if last == nil {
+		return nil, errors.New("ckpt: no complete checkpoint in input")
+	}
+	return last, nil
+}
+
+// WriteFile atomically replaces path with the encoded checkpoint: the bytes
+// are written to a temp file in the same directory, fsynced, and renamed
+// over path, then the directory entry is synced. A crash at any point leaves
+// either the previous file or the new one.
+func WriteFile(path string, c *Checkpoint) error {
+	data, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// AtomicWriteFile exposes the torn-write-safe replace for other writers of
+// crash-adjacent files (artifacts, WAL records): temp file in the target
+// directory, fsync, rename, directory sync.
+func AtomicWriteFile(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: mkdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// CreateTemp files are 0600; match the conventional artifact mode.
+	_ = tmp.Chmod(0o644)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	// Persist the directory entry too; best-effort on filesystems that
+	// reject directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile loads the newest complete checkpoint from path, tolerating a torn
+// tail. A missing file returns os.ErrNotExist.
+func ReadFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Recover(data)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	return c, nil
+}

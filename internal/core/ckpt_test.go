@@ -1,0 +1,282 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"anton2/internal/ckpt"
+	"anton2/internal/machine"
+	"anton2/internal/route"
+	"anton2/internal/topo"
+	"anton2/internal/traffic"
+	"anton2/internal/workload"
+)
+
+// The resume tests interrupt runs the way a crash-retry loop would: a cycle
+// budget too small for one attempt makes the runner error out mid-flight with
+// checkpoints on disk, and each retry resumes from the last one (budgets are
+// relative, so a resumed attempt gets fresh slack). The final successful
+// attempt must report results identical to an uninterrupted run.
+
+func tpCkptConfig(seed uint64) ThroughputConfig {
+	mc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+	mc.Seed = seed
+	return ThroughputConfig{
+		Machine:   mc,
+		Pattern:   traffic.Uniform{},
+		Batch:     64,
+		MaxCycles: 250,
+	}
+}
+
+func TestThroughputCkptResume(t *testing.T) {
+	// The uninterrupted reference gets an unbounded budget; the budget only
+	// bounds the run, it never shapes the dynamics.
+	refCfg := tpCkptConfig(7)
+	refCfg.MaxCycles = 0
+	ref, err := RunThroughput(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc := ckpt.RunConfig{
+		Path:  filepath.Join(t.TempDir(), "tp.ckpt"),
+		Every: 50,
+	}
+	var got ThroughputResult
+	attempts := 0
+	for ; attempts < 100; attempts++ {
+		got, err = RunThroughputCkpt(tpCkptConfig(7), rc)
+		if err == nil {
+			break
+		}
+		rc.Resume = true
+	}
+	if err != nil {
+		t.Fatalf("never completed in %d attempts: %v", attempts, err)
+	}
+	if attempts == 0 {
+		t.Fatal("budget never interrupted the run; the test is not exercising resume")
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("resumed result %+v differs from uninterrupted %+v after %d interruptions", got, ref, attempts)
+	}
+	if _, err := os.Stat(rc.Path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint file not discarded after success (stat err: %v)", err)
+	}
+}
+
+func mdCkptConfig(seed uint64) MDStepConfig {
+	mc := machine.DefaultConfig(topo.Shape3(2, 2, 2))
+	mc.Seed = seed
+	return MDStepConfig{
+		Machine:        mc,
+		Workload:       workload.Spec{HaloPackets: 6, Multicasts: 1, ReducePackets: 2, Timesteps: 2},
+		MaxPhaseCycles: 400,
+	}
+}
+
+func TestMDStepCkptResume(t *testing.T) {
+	ref, err := RunMDStepPoint(mdCkptConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc := ckpt.RunConfig{
+		Path:  filepath.Join(t.TempDir(), "md.ckpt"),
+		Every: 40,
+	}
+	var got MDStepPoint
+	attempts := 0
+	for ; attempts < 100; attempts++ {
+		got, err = RunMDStepPointCkpt(mdCkptConfig(7), rc)
+		if err == nil {
+			break
+		}
+		rc.Resume = true
+	}
+	if err != nil {
+		t.Fatalf("never completed in %d attempts: %v", attempts, err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("resumed point %+v differs from uninterrupted %+v after %d interruptions", got, ref, attempts)
+	}
+	if _, err := os.Stat(rc.Path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint file not discarded after success (stat err: %v)", err)
+	}
+}
+
+// TestCkptOffBitIdentical: a run with checkpointing disabled must report the
+// exact same result through the checkpoint-aware entry points as through the
+// plain ones (the off path is the pre-checkpoint code path).
+func TestCkptOffBitIdentical(t *testing.T) {
+	cfg := tpCkptConfig(3)
+	cfg.MaxCycles = 0
+	a, err := RunThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunThroughputCkpt(cfg, ckpt.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("disabled checkpointing changed the throughput result: %+v vs %+v", a, b)
+	}
+
+	p, err := RunMDStepPoint(mdCkptConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RunMDStepPointCkpt(mdCkptConfig(3), ckpt.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Errorf("disabled checkpointing changed the mdstep point: %+v vs %+v", p, q)
+	}
+}
+
+// TestCkptGuards: checkpointing refuses configurations it cannot snapshot.
+func TestCkptGuards(t *testing.T) {
+	cfg := tpCkptConfig(1)
+	cfg.Machine.Check = true
+	rc := ckpt.RunConfig{Path: filepath.Join(t.TempDir(), "x.ckpt"), Every: 10}
+	if _, err := RunThroughputCkpt(cfg, rc); err == nil {
+		t.Error("checkpointing with the invariant suite attached should fail")
+	}
+}
+
+// ckptEngines are the cycle-kernel variants the resume matrix crosses with
+// the routing strategies.
+var ckptEngines = []struct {
+	name   string
+	mutate func(*machine.Config)
+}{
+	{"scan", func(c *machine.Config) { c.Engine = machine.EngineScan }},
+	{"active", func(c *machine.Config) { c.Engine = machine.EngineActive }},
+	{"sharded", func(c *machine.Config) { c.Engine = machine.EngineActive; c.Shards = 2 }},
+}
+
+// resumeUntilDone drives a run the way the crash-retry loop does — each
+// attempt fails on its cycle budget with a checkpoint on disk, each retry
+// resumes — and returns the final point plus the number of interruptions.
+func resumeUntilDone[T any](t *testing.T, rc *ckpt.RunConfig, run func(ckpt.RunConfig) (T, error)) (T, int) {
+	t.Helper()
+	var got T
+	var err error
+	attempts := 0
+	for ; attempts < 200; attempts++ {
+		got, err = run(*rc)
+		if err == nil {
+			return got, attempts
+		}
+		rc.Resume = true
+	}
+	t.Fatalf("never completed in %d attempts: %v", attempts, err)
+	return got, attempts
+}
+
+// TestCkptResumeEngineStrategyMatrix: resume determinism across the full
+// engine × strategy grid. For every cycle-kernel variant (scan, active,
+// sharded) × routing strategy (anton, vcless, angara), the golden 2×2×2
+// mdstep and fig9 (throughput) points are run with a checkpoint at every
+// cycle and a budget that forces repeated mid-flight interruptions; the
+// resumed point must be byte-identical (canonical JSON) to the
+// uninterrupted run's.
+func TestCkptResumeEngineStrategyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine × strategy resume matrix is slow")
+	}
+	for _, stratName := range []string{"anton", "vcless", "angara"} {
+		strat, ok := route.StrategyByName(stratName)
+		if !ok {
+			t.Fatalf("strategy %q not registered", stratName)
+		}
+		for _, eng := range ckptEngines {
+			mutate := func(c *machine.Config) {
+				c.Scheme = strat
+				eng.mutate(c)
+			}
+
+			t.Run("fig9/"+stratName+"/"+eng.name, func(t *testing.T) {
+				refCfg := tpCkptConfig(7)
+				refCfg.Batch = 16
+				refCfg.MaxCycles = 0
+				mutate(&refCfg.Machine)
+				ref, err := RunThroughput(refCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refBytes := mustCanonJSON(t, ref)
+
+				cfg := tpCkptConfig(7)
+				cfg.Batch = 16
+				mutate(&cfg.Machine)
+				// A budget of a third of the uninterrupted run guarantees at
+				// least two mid-flight interruptions.
+				cfg.MaxCycles = ref.Cycles / 3
+				rc := ckpt.RunConfig{Path: filepath.Join(t.TempDir(), "tp.ckpt"), Every: 1}
+				got, attempts := resumeUntilDone(t, &rc, func(rc ckpt.RunConfig) (ThroughputResult, error) {
+					return RunThroughputCkpt(cfg, rc)
+				})
+				if attempts == 0 {
+					t.Fatal("budget never interrupted the run; the test is not exercising resume")
+				}
+				if gotBytes := mustCanonJSON(t, got); string(gotBytes) != string(refBytes) {
+					t.Errorf("resumed artifact differs after %d interruptions:\n got %s\nwant %s", attempts, gotBytes, refBytes)
+				}
+			})
+
+			t.Run("mdstep/"+stratName+"/"+eng.name, func(t *testing.T) {
+				refCfg := mdCkptConfig(7)
+				// vcless drains phases slower than anton; let the reference
+				// use the volume-scaled default budget.
+				refCfg.MaxPhaseCycles = 0
+				mutate(&refCfg.Machine)
+				ref, err := RunMDStepPoint(refCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refBytes := mustCanonJSON(t, ref)
+
+				cfg := mdCkptConfig(7)
+				mutate(&cfg.Machine)
+				// Bound each phase below the longest uninterrupted phase so
+				// at least one phase is interrupted mid-flight (budgets are
+				// relative to the resume point, so progress is monotone).
+				var longest uint64
+				for _, ph := range ref.Phases {
+					if ph.Cycles > longest {
+						longest = ph.Cycles
+					}
+				}
+				cfg.MaxPhaseCycles = longest/2 + 1
+				rc := ckpt.RunConfig{Path: filepath.Join(t.TempDir(), "md.ckpt"), Every: 1}
+				got, attempts := resumeUntilDone(t, &rc, func(rc ckpt.RunConfig) (MDStepPoint, error) {
+					return RunMDStepPointCkpt(cfg, rc)
+				})
+				if attempts == 0 {
+					t.Fatal("budget never interrupted the run; the test is not exercising resume")
+				}
+				if gotBytes := mustCanonJSON(t, got); string(gotBytes) != string(refBytes) {
+					t.Errorf("resumed artifact differs after %d interruptions:\n got %s\nwant %s", attempts, gotBytes, refBytes)
+				}
+			})
+		}
+	}
+}
+
+// mustCanonJSON renders a point in its canonical artifact form for byte
+// comparison.
+func mustCanonJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"anton2/internal/ckpt"
 	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/route"
@@ -87,13 +88,20 @@ func ThroughputSpec(cfg ThroughputConfig) *exp.Spec {
 		Add("maxcycles", cfg.MaxCycles)
 }
 
-// ThroughputJob wraps one RunThroughput call for the orchestrator.
+// ThroughputJob wraps one RunThroughput call for the orchestrator. The job
+// is checkpoint-aware: under exp's Checkpoint options a retried or restarted
+// attempt resumes from the last persisted snapshot.
 func ThroughputJob(cfg ThroughputConfig) exp.Job {
-	return exp.Job{Spec: ThroughputSpec(cfg), Run: func(seed uint64) (any, error) {
+	run := func(seed uint64, rc ckpt.RunConfig) (any, error) {
 		c := cfg
 		c.Machine.Seed = seed
-		return RunThroughput(c)
-	}}
+		return RunThroughputCkpt(c, rc)
+	}
+	return exp.Job{
+		Spec:    ThroughputSpec(cfg),
+		Run:     func(seed uint64) (any, error) { return run(seed, ckpt.RunConfig{}) },
+		RunCkpt: run,
+	}
 }
 
 // BlendSpec canonically identifies one Figure 10 blend point.

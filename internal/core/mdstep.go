@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"anton2/internal/ckpt"
 	"anton2/internal/exp"
 	"anton2/internal/machine"
 	"anton2/internal/route"
@@ -72,6 +73,77 @@ func mdstepMachine(cfg MDStepConfig) (machine.Config, workload.Spec, error) {
 func RunMDStepPoint(cfg MDStepConfig) (MDStepPoint, error) {
 	pt, _, err := RunMDStepPointRecorded(cfg, false)
 	return pt, err
+}
+
+// RunMDStepPointCkpt is RunMDStepPoint with crash-safe checkpointing: when rc
+// is enabled, the machine snapshot and the workload's Progress are persisted
+// every rc.Every cycles, and when rc asks for a resume and a usable
+// checkpoint exists, the run restores it, replays the RNG draws of every
+// already-injected phase, and finishes bit-identically to an uninterrupted
+// run. Recording does not compose with checkpointing.
+func RunMDStepPointCkpt(cfg MDStepConfig, rc ckpt.RunConfig) (MDStepPoint, error) {
+	if !rc.Enabled() {
+		return RunMDStepPoint(cfg)
+	}
+	mc, spec, err := mdstepMachine(cfg)
+	if err != nil {
+		return MDStepPoint{}, err
+	}
+	if err := ckptGuard(rc, mc); err != nil {
+		return MDStepPoint{}, err
+	}
+	pt := MDStepPoint{Strategy: mc.Scheme.Name(), Workload: spec.Canonical(), Timesteps: spec.Timesteps}
+	m, _, err := BuildMachine(mc)
+	if err != nil {
+		return pt, err
+	}
+	tag := MDStepSpec(cfg).Canonical()
+
+	var from *workload.Progress
+	var prog workload.Progress
+	if snap := loadRunCkpt(rc, tag, &prog); snap != nil {
+		if err := m.Restore(snap); err == nil {
+			from = &prog
+		} else {
+			// A failed restore may leave the machine partially mutated;
+			// rebuild and start over — resuming is only an optimization.
+			if m, _, err = BuildMachine(mc); err != nil {
+				return pt, err
+			}
+		}
+	}
+
+	// The workload's engine hook hands us the driver Progress; pair it with
+	// a machine snapshot and persist. m is captured after any restore, so
+	// the sink always snapshots the machine actually running.
+	w := ckpt.NewWriter(rc)
+	sink := func(p workload.Progress) {
+		snap, err := m.Snapshot()
+		if err != nil {
+			return
+		}
+		c := ckpt.New(tag, snap.Now)
+		if err := ckptAddJSON(c, sectionMachine, snap); err != nil {
+			return
+		}
+		if err := ckptAddJSON(c, sectionDriver, p); err != nil {
+			return
+		}
+		_ = w.Save(c)
+	}
+	res, err := workload.RunResumable(m, spec, cfg.MaxPhaseCycles, from, rc.Every, sink)
+	if err != nil {
+		return pt, fmt.Errorf("core: mdstep %s: %w", pt.Strategy, err)
+	}
+	if err := m.FinishChecks(); err != nil {
+		return pt, fmt.Errorf("core: mdstep %s: %w", pt.Strategy, err)
+	}
+	rc.Discard()
+	pt.Phases = res.Phases
+	pt.TotalCycles = res.TotalCycles
+	pt.TotalNS = res.TotalNS
+	pt.CyclesPerTimestep = float64(res.TotalCycles) / float64(spec.Timesteps)
+	return pt, nil
 }
 
 // RunMDStepPointRecorded is RunMDStepPoint with an optional traffic capture:
@@ -144,13 +216,20 @@ func MDStepSpec(cfg MDStepConfig) *exp.Spec {
 		Add("maxcycles", cfg.MaxPhaseCycles)
 }
 
-// MDStepJob wraps one RunMDStepPoint call for the orchestrator.
+// MDStepJob wraps one RunMDStepPoint call for the orchestrator. The job is
+// checkpoint-aware: under exp's Checkpoint options a retried or restarted
+// attempt resumes from the last persisted snapshot.
 func MDStepJob(cfg MDStepConfig) exp.Job {
-	return exp.Job{Spec: MDStepSpec(cfg), Run: func(seed uint64) (any, error) {
+	run := func(seed uint64, rc ckpt.RunConfig) (any, error) {
 		c := cfg
 		c.Machine.Seed = seed
-		return RunMDStepPoint(c)
-	}}
+		return RunMDStepPointCkpt(c, rc)
+	}
+	return exp.Job{
+		Spec:    MDStepSpec(cfg),
+		Run:     func(seed uint64) (any, error) { return run(seed, ckpt.RunConfig{}) },
+		RunCkpt: run,
+	}
 }
 
 // MDStepJobs builds one job per registered routing strategy, in registry

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"anton2/internal/ckpt"
 	"anton2/internal/exp"
 
 	"anton2/internal/machine"
@@ -49,8 +50,30 @@ type ThroughputResult struct {
 	Fairness float64
 }
 
+// tpProgress is the throughput runner's driver section in a checkpoint: the
+// per-core injection counters (in (node, core) order, pinning each RNG
+// stream's position), the per-endpoint outstanding-delivery counters, and the
+// per-core completion times gathered so far.
+type tpProgress struct {
+	Sent      []int     `json:"sent"`
+	Remaining []int     `json:"remaining"`
+	Finished  []float64 `json:"finished"`
+}
+
 // RunThroughput executes one batch measurement.
 func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	return RunThroughputCkpt(cfg, ckpt.RunConfig{})
+}
+
+// RunThroughputCkpt is RunThroughput with crash-safe checkpointing: when rc
+// is enabled, the machine and driver state are persisted every rc.Every
+// cycles, and when rc asks for a resume and a usable checkpoint exists, the
+// run restores it, fast-forwards every per-core RNG stream past the packets
+// already injected, and finishes bit-identically to an uninterrupted run.
+func RunThroughputCkpt(cfg ThroughputConfig, rc ckpt.RunConfig) (ThroughputResult, error) {
+	if err := ckptGuard(rc, cfg.Machine); err != nil {
+		return ThroughputResult{}, err
+	}
 	m, _, err := BuildMachine(cfg.Machine, cfg.WeightPatterns...)
 	if err != nil {
 		return ThroughputResult{}, err
@@ -68,25 +91,58 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cores := tm.Chip.CoreEndpoints()
 	numCores := tm.NumNodes() * len(cores)
 	total := uint64(numCores * cfg.Batch)
+	tag := ThroughputSpec(cfg).Canonical()
 
+	sent := make([]int, numCores)
 	remaining := make([]int, tm.NumEndpointsTotal())
 	finished := make([]float64, 0, numCores)
 
+	resumed := false
+	if rc.Enabled() {
+		var prog tpProgress
+		if snap := loadRunCkpt(rc, tag, &prog); snap != nil &&
+			len(prog.Sent) == numCores && len(prog.Remaining) == len(remaining) {
+			if err := m.Restore(snap); err == nil {
+				copy(sent, prog.Sent)
+				copy(remaining, prog.Remaining)
+				finished = append(finished, prog.Finished...)
+				resumed = true
+			} else {
+				// A failed restore may leave the machine partially mutated;
+				// rebuild and start over — resuming is only an optimization.
+				if m, _, err = BuildMachine(cfg.Machine, cfg.WeightPatterns...); err != nil {
+					return ThroughputResult{}, err
+				}
+			}
+		}
+	}
+
+	ci := 0
 	for n := 0; n < tm.NumNodes(); n++ {
 		for _, ep := range cores {
 			src := topo.NodeEp{Node: n, Ep: ep}
-			remaining[tm.EndpointIndex(src)] = cfg.Batch
+			if !resumed {
+				remaining[tm.EndpointIndex(src)] = cfg.Batch
+			}
 			rng := sim.NewRNG(cfg.Machine.Seed, fmt.Sprintf("tp-src-%d-%d", n, ep))
-			sent := 0
+			// Fast-forward the stream past the draws of every packet this
+			// core injected before the checkpoint: the pattern destination,
+			// then the route choices MakeRandomPacket draws.
+			for k := 0; k < sent[ci]; k++ {
+				cfg.Pattern.Dest(tm, src, rng)
+				route.RandomChoices(rng)
+			}
+			i := ci
 			m.Endpoint(src).Source = func() *packet.Packet {
-				if sent >= cfg.Batch {
+				if sent[i] >= cfg.Batch {
 					return nil
 				}
-				sent++
+				sent[i]++
 				dst := cfg.Pattern.Dest(tm, src, rng)
 				p := m.MakeRandomPacket(src, dst, route.ClassRequest, cfg.PatternID, rng)
 				return p
 			}
+			ci++
 		}
 	}
 	onDeliver := func(p *packet.Packet, now uint64) bool {
@@ -112,6 +168,12 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			maxCycles = 200_000
 		}
 	}
+	if rc.Enabled() {
+		installCkptHook(m, rc, tag, func() any {
+			return tpProgress{Sent: sent, Remaining: remaining, Finished: finished}
+		})
+		defer m.Engine.SetCheckpoint(0, nil)
+	}
 	end, err := m.RunUntilDelivered(total, maxCycles)
 	if err != nil {
 		return ThroughputResult{}, fmt.Errorf("core: throughput run (%s, batch %d): %w", cfg.Pattern.Name(), cfg.Batch, err)
@@ -120,6 +182,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		return ThroughputResult{}, fmt.Errorf("core: throughput run (%s, batch %d): %w", cfg.Pattern.Name(), cfg.Batch, err)
 	}
 
+	rc.Discard()
 	rate := float64(cfg.Batch) / float64(end) // packets/cycle/core
 	_, meanU, maxU := m.TorusUtilization(nil, end)
 	return ThroughputResult{

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"anton2/internal/ckpt"
 )
 
 // ArtifactFile is the on-disk JSON schema of one sweep: <dir>/<name>.json.
@@ -30,7 +32,9 @@ func WriteArtifacts(dir, name string, results []Result) (string, error) {
 
 // WriteJSON marshals v as pretty-printed JSON to <dir>/<name>.json, creating
 // dir if needed, and returns the file path. It is the shared artifact writer
-// for sweep results and telemetry reports.
+// for sweep results and telemetry reports. The replace is atomic (temp file +
+// fsync + rename): a crash mid-write leaves either the previous artifact or
+// the new one, never a truncated mixture.
 func WriteJSON(dir, name string, v any) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("exp: artifact dir: %w", err)
@@ -40,7 +44,7 @@ func WriteJSON(dir, name string, v any) (string, error) {
 		return "", fmt.Errorf("exp: marshal artifacts: %w", err)
 	}
 	path := filepath.Join(dir, name+".json")
-	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+	if err := ckpt.AtomicWriteFile(path, append(b, '\n')); err != nil {
 		return "", fmt.Errorf("exp: write artifacts: %w", err)
 	}
 	return path, nil

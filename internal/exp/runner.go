@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"anton2/internal/ckpt"
 	"anton2/internal/sim"
 )
 
@@ -16,9 +18,16 @@ import (
 // executing it. Run receives the spec-derived seed; it must thread that seed
 // into every random stream it creates so results depend only on the spec,
 // never on which worker runs the job or when.
+//
+// RunCkpt, when non-nil, is the checkpoint-aware variant: given a
+// ckpt.RunConfig it must persist resumable state at the configured interval
+// and, when the config asks for a resume, produce a result bit-identical to
+// an uninterrupted Run. Jobs without RunCkpt simply restart from scratch on
+// retry.
 type Job struct {
-	Spec *Spec
-	Run  func(seed uint64) (any, error)
+	Spec    *Spec
+	Run     func(seed uint64) (any, error)
+	RunCkpt func(seed uint64, rc ckpt.RunConfig) (any, error)
 }
 
 // Cycler is implemented by result values that know their simulated cycle
@@ -54,6 +63,34 @@ type Options struct {
 	// the callback needs no locking of its own, but it runs on worker
 	// goroutines and must not block.
 	OnResult func(Result)
+	// Checkpoint enables attempt-level crash recovery for jobs that
+	// provide RunCkpt.
+	Checkpoint CheckpointOptions
+}
+
+// CheckpointOptions configures per-attempt checkpointing: each job writes
+// resumable state under Dir every Every cycles, and a retried attempt (after
+// a panic, error, or attempt timeout) resumes from the last checkpoint
+// instead of starting over. Resume additionally resumes first attempts — the
+// whole-process restart case, where a previous invocation's checkpoints are
+// still on disk. The zero value disables checkpointing.
+type CheckpointOptions struct {
+	Dir         string
+	Every       uint64
+	MinInterval time.Duration
+	Resume      bool
+}
+
+// runConfig derives one attempt's checkpoint config. The file name pins
+// (spec hash, seed), and the checkpoint tag pins the full canonical spec, so
+// a stale file from a different run sharing the path is ignored on load.
+func (c CheckpointOptions) runConfig(hash string, seed uint64, retried bool) ckpt.RunConfig {
+	return ckpt.RunConfig{
+		Path:        filepath.Join(c.Dir, fmt.Sprintf("%s-%016x.ckpt", hash, seed)),
+		Every:       c.Every,
+		MinInterval: c.MinInterval,
+		Resume:      c.Resume || retried,
+	}
 }
 
 // Serial returns options that run jobs one at a time in order.
@@ -211,12 +248,20 @@ func runOne(ctx context.Context, i int, j Job, opts Options) Result {
 		Seed:  j.Spec.Seed(),
 	}
 	start := time.Now()
+	useCkpt := opts.Checkpoint.Dir != "" && opts.Checkpoint.Every > 0 && j.RunCkpt != nil
+	attempts := 0
 	attempt := func() (val any, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("exp: job %s panicked: %v", r.Kind, p)
 			}
 		}()
+		if useCkpt {
+			// attempts was already incremented for this attempt, so > 1
+			// means a retry: resume from whatever the failed attempt
+			// persisted rather than repeating its work.
+			return j.RunCkpt(r.Seed, opts.Checkpoint.runConfig(r.Hash, r.Seed, attempts > 1))
+		}
 		return j.Run(r.Seed)
 	}
 	if opts.AttemptTimeout > 0 || ctx.Done() != nil {
@@ -249,7 +294,6 @@ func runOne(ctx context.Context, i int, j Job, opts Options) Result {
 			}
 		}
 	}
-	attempts := 0
 	tryAll := func() (any, error) {
 		var val any
 		var err error

@@ -1,0 +1,86 @@
+package fault
+
+import "fmt"
+
+// This file externalizes the fault layer's mutable state for checkpointing:
+// the go-back-N protocol machines and the injector's SplitMix64 stream
+// positions. Everything here is plain integers, so a restored run draws the
+// exact same fault schedule the uninterrupted run would have.
+
+// SenderState is the serializable state of a go-back-N Sender. The wiring
+// parameters (window, timeout, retry limit) are rebuilt from the machine
+// config and are deliberately absent.
+type SenderState struct {
+	Base     uint64 `json:"base"`
+	Next     uint64 `json:"next"`
+	Retx     uint64 `json:"retx"`
+	LastMove uint64 `json:"last_move"`
+	Attempts int    `json:"attempts,omitempty"`
+	Dead     bool   `json:"dead,omitempty"`
+}
+
+// State captures the sender's protocol position.
+func (s *Sender) State() SenderState {
+	return SenderState{
+		Base: s.base, Next: s.next, Retx: s.retx,
+		LastMove: s.lastMove, Attempts: s.attempts, Dead: s.dead,
+	}
+}
+
+// RestoreState loads a captured protocol position.
+func (s *Sender) RestoreState(st SenderState) error {
+	if st.Base > st.Next || st.Retx > st.Next {
+		return fmt.Errorf("fault: sender state out of order: base %d, retx %d, next %d", st.Base, st.Retx, st.Next)
+	}
+	s.base, s.next, s.retx = st.Base, st.Next, st.Retx
+	s.lastMove, s.attempts, s.dead = st.LastMove, st.Attempts, st.Dead
+	return nil
+}
+
+// ReceiverState is the serializable state of a go-back-N Receiver.
+type ReceiverState struct {
+	Expected  uint64 `json:"expected"`
+	NackArmed bool   `json:"nack_armed,omitempty"`
+}
+
+// State captures the receiver's protocol position.
+func (r *Receiver) State() ReceiverState {
+	return ReceiverState{Expected: r.expected, NackArmed: r.nackArmed}
+}
+
+// RestoreState loads a captured protocol position.
+func (r *Receiver) RestoreState(st ReceiverState) {
+	r.expected, r.nackArmed = st.Expected, st.NackArmed
+}
+
+// InjectorState is the serializable position of every injection stream: one
+// SplitMix64 state per (kind, link). The permanent-failure stream is not
+// here — FailedLinks is a pure function of the seed and re-derives
+// identically on rebuild.
+type InjectorState struct {
+	Corrupt []uint64 `json:"corrupt"`
+	Stall   []uint64 `json:"stall"`
+	Credit  []uint64 `json:"credit"`
+}
+
+// StreamState captures the injector's stream positions.
+func (in *Injector) StreamState() InjectorState {
+	return InjectorState{
+		Corrupt: append([]uint64(nil), in.corrupt...),
+		Stall:   append([]uint64(nil), in.stall...),
+		Credit:  append([]uint64(nil), in.credit...),
+	}
+}
+
+// RestoreStreams loads captured stream positions into an injector built for
+// the same link count.
+func (in *Injector) RestoreStreams(st InjectorState) error {
+	if len(st.Corrupt) != len(in.corrupt) || len(st.Stall) != len(in.stall) || len(st.Credit) != len(in.credit) {
+		return fmt.Errorf("fault: injector stream shape mismatch: %d/%d/%d states for %d links",
+			len(st.Corrupt), len(st.Stall), len(st.Credit), len(in.corrupt))
+	}
+	copy(in.corrupt, st.Corrupt)
+	copy(in.stall, st.Stall)
+	copy(in.credit, st.Credit)
+	return nil
+}

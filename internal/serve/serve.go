@@ -27,11 +27,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -70,6 +73,15 @@ type Config struct {
 	// point so SSE clients see cycle-level liveness between point
 	// completions (default on; disable for minimum overhead).
 	NoLiveProgress bool
+	// CheckpointEvery, when non-zero, makes every checkpoint-aware sweep
+	// point persist a resumable snapshot to <store>/ckpt at least every
+	// that many simulated cycles. Combined with the write-ahead log of
+	// admitted runs, a killed server that restarts over the same store
+	// re-admits its unfinished runs and resumes each point mid-simulation,
+	// bit-identical to an uninterrupted run (0 = off). Checkpointed points
+	// run without the cycle-level telemetry progress hook (the two layers
+	// do not compose); per-point SSE progress is unaffected.
+	CheckpointEvery uint64
 	// Logf, when non-nil, receives operational log lines (persistence
 	// failures, drain progress). The default discards them.
 	Logf func(format string, args ...any)
@@ -240,17 +252,30 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	draining  atomic.Bool
-	wg        sync.WaitGroup
+	// ready flips true once startup recovery — write-ahead-log re-admission
+	// of runs a previous process left unfinished — has completed. /readyz
+	// and /healthz report 503 until then; /livez is always 200.
+	ready atomic.Bool
+	wg    sync.WaitGroup
 
 	mux *http.ServeMux
 }
 
 // NewServer builds a server, restoring the persistent load-table cache so a
-// warm disk cache skips analytic route enumeration from the first request.
+// warm disk cache skips analytic route enumeration from the first request,
+// and re-admitting (asynchronously) any runs a previous process admitted but
+// never finished, recorded in the store's write-ahead log. The server
+// answers requests immediately; /readyz reports 503 until re-admission has
+// completed.
 func NewServer(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
 	if c.Store == nil {
 		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if c.CheckpointEvery > 0 {
+		if err := os.MkdirAll(filepath.Join(c.Store.Dir(), "ckpt"), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -263,6 +288,9 @@ func NewServer(cfg Config) (*Server, error) {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
+	if s.store.Logf == nil {
+		s.store.Logf = c.Logf
+	}
 	if n, err := s.store.RestoreLoads(); err != nil {
 		c.Logf("serve: load-table restore failed: %v", err)
 	} else if n > 0 {
@@ -274,8 +302,42 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(1)
+	go s.resumeWAL()
 	return s, nil
+}
+
+// resumeWAL re-admits every run the write-ahead log records as unfinished,
+// then marks the server ready. Re-admission goes through the normal Submit
+// path: a run whose artifact made it to disk before the crash is a disk hit
+// (its stale WAL entry is dropped there), anything else queues and — when
+// checkpointing is on — resumes each point from its last snapshot.
+func (s *Server) resumeWAL() {
+	defer s.wg.Done()
+	defer s.ready.Store(true)
+	entries, err := s.store.ListWAL()
+	if err != nil {
+		s.cfg.Logf("serve: wal scan failed: %v", err)
+		return
+	}
+	for _, e := range entries {
+		req, err := ParseRequest(bytes.NewReader(e.Body))
+		if err != nil {
+			// An entry that no longer parses can never be re-admitted.
+			s.cfg.Logf("serve: dropping unusable wal entry %s: %v", e.ID, err)
+			s.store.RemoveWAL(e.ID)
+			continue
+		}
+		if _, err := s.Submit(req); err != nil {
+			// Queue full or draining: keep the entry for the next restart.
+			s.cfg.Logf("serve: wal re-admit %s failed: %v", e.ID, err)
+			continue
+		}
+		s.cfg.Logf("serve: re-admitted unfinished run %s from wal", e.ID)
+	}
 }
 
 // Handler returns the HTTP surface.
@@ -402,6 +464,9 @@ func (s *Server) Submit(req *Request) (*run, error) {
 		r := s.completedRun(id, canonical, req.Family, b)
 		s.runs[id] = r
 		s.mu.Unlock()
+		// A surviving WAL entry for an artifact that did reach disk is
+		// stale (the crash hit between persistence and WAL cleanup).
+		s.store.RemoveWAL(id)
 		return r, nil
 	}
 
@@ -424,6 +489,16 @@ func (s *Server) Submit(req *Request) (*run, error) {
 	s.metrics.Misses.Add(1)
 	s.wg.Add(1)
 	s.mu.Unlock()
+
+	// Record the admission in the write-ahead log before execution starts:
+	// if the process dies mid-run, the next one re-admits the request and
+	// (with checkpointing on) resumes it. Failure to log only costs that
+	// crash-safety, so the run proceeds regardless.
+	if body, err := json.Marshal(req); err == nil {
+		if werr := s.store.SaveWAL(id, body); werr != nil {
+			s.cfg.Logf("serve: wal admit %s: %v", id, werr)
+		}
+	}
 
 	go s.execute(r, c)
 	return r, nil
@@ -512,6 +587,9 @@ func (s *Server) execute(r *run, c *compiled) {
 
 	if err := s.store.SaveArtifact(r.id, artifact); err != nil {
 		s.cfg.Logf("serve: persist artifact %s: %v", r.id, err)
+	} else {
+		// The artifact is durable; the run no longer needs crash recovery.
+		s.store.RemoveWAL(r.id)
 	}
 	if err := s.store.SaveLoads(); err != nil {
 		s.cfg.Logf("serve: persist load tables: %v", err)
@@ -529,9 +607,17 @@ func (s *Server) leaveQueue() {
 // of any point makes the whole computation fail (cancelled points are not
 // deterministic results and must not be persisted).
 func (s *Server) simulate(ctx context.Context, r *run, c *compiled) ([]byte, error) {
-	jobs := c.build(s.pointTelemetry(r))
+	tel := s.pointTelemetry(r)
+	if s.cfg.CheckpointEvery > 0 {
+		// Checkpointing refuses to compose with the telemetry layer (its
+		// window state is not snapshotted), so checkpointed points run
+		// without the cycle-level progress hook; SSE clients still see
+		// per-point completion progress via OnResult below.
+		tel = func() *telemetry.Options { return nil }
+	}
+	jobs := c.build(tel)
 	prevs := make([]uint64, len(jobs))
-	rs := exp.RunCtx(ctx, jobs, exp.Options{
+	opts := exp.Options{
 		Name:           "run-" + r.id[:8],
 		Parallelism:    s.cfg.PointParallelism,
 		Cache:          s.points,
@@ -555,7 +641,18 @@ func (s *Server) simulate(ctx context.Context, r *run, c *compiled) ([]byte, err
 			s.metrics.SimCycles.Add(res.Cycles)
 			r.notify()
 		},
-	})
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		// Resume is always on: checkpoint tags pin the full spec canonical,
+		// so a stale or foreign file is ignored, and a valid resume is
+		// bit-identical to a fresh run — at worst it is a head start.
+		opts.Checkpoint = exp.CheckpointOptions{
+			Dir:    filepath.Join(s.store.Dir(), "ckpt"),
+			Every:  s.cfg.CheckpointEvery,
+			Resume: true,
+		}
+	}
+	rs := exp.RunCtx(ctx, jobs, opts)
 	for _, res := range rs {
 		var cancelled *exp.ErrCancelled
 		if errors.As(res.Err, &cancelled) {
@@ -739,12 +836,40 @@ func (s *Server) handleArtifact(w http.ResponseWriter, req *http.Request) {
 	s.writeRunArtifact(w, r)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+// health reports the lifecycle phase and whether the server can usefully
+// accept traffic right now.
+func (s *Server) health() (phase string, ok bool) {
+	switch {
+	case s.draining.Load():
+		return "draining", false
+	case !s.ready.Load():
+		return "resuming", false
+	default:
+		return "ok", true
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleLivez is pure liveness: the process is up and serving HTTP. Always
+// 200, even while draining — restarting a draining server loses work.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handleReadyz is readiness: 503 while startup WAL re-admission is still
+// running or the server is draining, 200 once it can take traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	phase, ok := s.health()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": phase})
+}
+
+// handleHealthz keeps the original combined endpoint: identical to /readyz,
+// so existing poll-until-200 probes also wait out startup recovery.
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.handleReadyz(w, req)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {

@@ -93,6 +93,17 @@ type Engine struct {
 	// blocked-VC summary) into the returned ErrDeadlock. It runs only on
 	// the failure path, so it may be arbitrarily expensive.
 	DeadlockDetail func() string
+
+	// Checkpoint hook, installed via SetCheckpoint. Run/RunUntil invoke
+	// onCkpt between steps whenever the clock reaches the next multiple of
+	// ckptEvery; idle-cycle jumps are clamped to that boundary exactly as
+	// they are to the watchdog deadline, so the hook observes the same
+	// settled states in every engine mode. When off (ckptEvery == 0) the
+	// run loops pay a single predicted compare per iteration and allocate
+	// nothing — the same zero-cost-off discipline as AfterStep.
+	ckptEvery uint64
+	nextCkpt  uint64
+	onCkpt    func(now uint64)
 }
 
 // NewEngine returns an empty engine at cycle 0 in ModeScan.
@@ -173,6 +184,60 @@ func (e *Engine) progressTotal() uint64 {
 		t += e.progress[i].v
 	}
 	return t
+}
+
+// SetCheckpoint installs the periodic checkpoint hook: fn runs between
+// steps (simulation fully settled, no component mid-tick) whenever the clock
+// reaches a multiple of every, with the cycle about to execute. Unlike
+// AfterStep it does not disable idle-cycle jumping — jumps are clamped to
+// the next boundary instead, so checkpoint cycles are engine-mode-invariant
+// without observing every cycle. every == 0 or fn == nil uninstalls the
+// hook. Only Run and RunUntil consume it; manual Step loops do not.
+func (e *Engine) SetCheckpoint(every uint64, fn func(now uint64)) {
+	if every == 0 || fn == nil {
+		e.ckptEvery, e.nextCkpt, e.onCkpt = 0, 0, nil
+		return
+	}
+	e.ckptEvery, e.onCkpt = every, fn
+	e.nextCkpt = e.now + every - e.now%every
+}
+
+// fireCkpt runs the checkpoint hook when the clock has reached the next
+// boundary, then advances the boundary.
+func (e *Engine) fireCkpt() {
+	if e.now >= e.nextCkpt {
+		e.onCkpt(e.now)
+		e.nextCkpt = e.now + e.ckptEvery - e.now%e.ckptEvery
+	}
+}
+
+// ResetTo rewinds (or fast-forwards) the engine to cycle now with nothing
+// scheduled: every pending wake, overflow-heap entry, and progress count is
+// discarded. Restore paths use it on a freshly built engine before
+// re-issuing the wakes implied by the restored state (pipe arrivals plus a
+// blanket WakeAll — extra wakes are harmless, missing ones are not).
+func (e *Engine) ResetTo(now uint64) {
+	e.now = now
+	if e.mode == ModeActive {
+		e.wheel.reset()
+	}
+	for i := range e.progress {
+		e.progress[i].v = 0
+	}
+	if e.ckptEvery != 0 {
+		e.nextCkpt = now + e.ckptEvery - now%e.ckptEvery
+	}
+}
+
+// WakeAll schedules every registered component at the current cycle. Under
+// ModeScan it is a no-op (everything ticks anyway). A spurious tick is a
+// no-op by construction, so WakeAll never changes dynamics — it only
+// guarantees that after a state restore no component sleeps through work
+// its restored state implies.
+func (e *Engine) WakeAll() {
+	for id := range e.comps {
+		e.Wake(id, e.now)
+	}
 }
 
 // Wake schedules component id to be ticked at cycle at (ModeScan ignores it:
@@ -312,10 +377,16 @@ func (e *Engine) nextWake() uint64 {
 func (e *Engine) Run(n uint64) {
 	end := e.now + n
 	for e.now < end {
+		if e.ckptEvery != 0 {
+			e.fireCkpt()
+		}
 		if e.canJump() {
 			if t := e.nextWake(); t > e.now {
 				if t > end {
 					t = end
+				}
+				if e.ckptEvery != 0 && t > e.nextCkpt {
+					t = e.nextCkpt
 				}
 				e.now = t
 				continue
@@ -374,6 +445,9 @@ func (e *Engine) RunUntil(done func() bool, maxCycles, watchdog uint64) error {
 		return err
 	}
 	for !done() {
+		if e.ckptEvery != 0 {
+			e.fireCkpt()
+		}
 		if e.now >= end {
 			return &ErrTimeout{Cycle: e.now}
 		}
@@ -386,6 +460,9 @@ func (e *Engine) RunUntil(done func() bool, maxCycles, watchdog uint64) error {
 					if dl := lastProgressAt + watchdog; dl < t {
 						t = dl
 					}
+				}
+				if e.ckptEvery != 0 && t > e.nextCkpt {
+					t = e.nextCkpt
 				}
 				e.now = t
 				// The skipped cycles were idle: no component ticked, so no

@@ -95,5 +95,15 @@ func (p *Pipe[T]) NextArrival() (uint64, bool) {
 // Empty reports whether the pipe holds no items (arrived or in flight).
 func (p *Pipe[T]) Empty() bool { return p.head >= len(p.q) }
 
+// Entries calls f for every undelivered item in FIFO order with its absolute
+// arrival cycle. Snapshot paths use it to externalize in-flight traffic;
+// restore paths replay the entries through SendAt in the same order, which
+// reproduces the queue exactly (arrival cycles are monotone per pipe).
+func (p *Pipe[T]) Entries(f func(at uint64, item T)) {
+	for _, e := range p.q[p.head:] {
+		f(e.at, e.item)
+	}
+}
+
 // Len returns the number of items in the pipe (arrived or in flight).
 func (p *Pipe[T]) Len() int { return len(p.q) - p.head }

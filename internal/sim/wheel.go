@@ -43,6 +43,21 @@ type wheel struct {
 
 func (w *wheel) init() { w.heapMin = ^uint64(0) }
 
+// reset discards every scheduled wake: all buckets cleared, heap emptied.
+// Engine.ResetTo uses it when restoring a snapshot; the restore path then
+// re-issues every wake the restored state implies.
+func (w *wheel) reset() {
+	for b := range w.words {
+		ws := w.words[b]
+		for i := range ws {
+			ws[i] = 0
+		}
+		w.cnt[b] = 0
+	}
+	w.heap = w.heap[:0]
+	w.heapMin = ^uint64(0)
+}
+
 // grow widens every bucket to cover n components. Registration-time only.
 func (w *wheel) grow(n int) {
 	nw := (n + 63) >> 6

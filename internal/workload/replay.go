@@ -67,7 +67,13 @@ func ReplayTrace(m *machine.Machine, tr *trace.Trace, maxPhaseCycles uint64) (Re
 			}
 			return injected, expected, nil
 		}
-		pr, err := runPhase(m, ts, ph, maxPhaseCycles, inject)
+		start := m.Engine.Now()
+		before := m.Delivered()
+		injected, expected, err := inject()
+		if err != nil {
+			return Result{}, err
+		}
+		pr, err := finishPhase(m, ts, ph, maxPhaseCycles, before, injected, expected, start)
 		if err != nil {
 			return Result{}, err
 		}

@@ -224,16 +224,31 @@ const quiesceBudget = 1 << 16
 
 func defaultPhaseBudget(expected uint64) uint64 { return 400_000 + 64*expected }
 
-// runPhase injects one phase's traffic, runs the fabric until every expected
-// delivery has arrived, then steps until quiescence — the phase barrier.
-// Stepping manually keeps the observed quiescence cycle engine-invariant.
-func runPhase(m *machine.Machine, ts, idx int, maxPhaseCycles uint64, inject func() (injected, expected uint64, err error)) (PhaseResult, error) {
-	start := m.Engine.Now()
-	before := m.Delivered()
-	injected, expected, err := inject()
-	if err != nil {
-		return PhaseResult{}, err
-	}
+// Progress is a run's driver-level position, captured alongside a machine
+// snapshot when a checkpoint fires. Checkpoints fire only inside the
+// delivery wait of a phase (the engine's checkpoint hook is consumed by
+// RunUntil, never by the manual quiescence stepping), so at capture time the
+// current phase is fully injected and Progress pins exactly where the
+// resumed run re-enters: finish this phase's delivery wait, then continue.
+type Progress struct {
+	// Timestep and Phase locate the in-progress phase.
+	Timestep int `json:"timestep"`
+	Phase    int `json:"phase"`
+	// Completed holds the results of every finished phase, in order.
+	Completed []PhaseResult `json:"completed,omitempty"`
+	// Before, Injected, Expected, and PhaseStart are the in-progress
+	// phase's runPhase-local state.
+	Before     uint64 `json:"before"`
+	Injected   uint64 `json:"injected"`
+	Expected   uint64 `json:"expected"`
+	PhaseStart uint64 `json:"phase_start"`
+}
+
+// finishPhase runs the fabric until every expected delivery of an
+// already-injected phase has arrived, then steps until quiescence — the
+// phase barrier. Stepping manually keeps the observed quiescence cycle
+// engine-invariant.
+func finishPhase(m *machine.Machine, ts, idx int, maxPhaseCycles uint64, before, injected, expected, start uint64) (PhaseResult, error) {
 	if expected > 0 {
 		budget := maxPhaseCycles
 		if budget == 0 {
@@ -265,9 +280,30 @@ func runPhase(m *machine.Machine, ts, idx int, maxPhaseCycles uint64, inject fun
 // fully determined by (machine config, spec) and a capture replays
 // identically under the same strategy.
 func Run(m *machine.Machine, spec Spec, rec *trace.Recorder, maxPhaseCycles uint64) (Result, error) {
+	return runInner(m, spec, rec, maxPhaseCycles, nil, 0, nil)
+}
+
+// RunResumable is Run with checkpoint support: when every > 0 and sink is
+// non-nil, the engine's checkpoint hook is installed and sink is invoked
+// between engine steps with the driver's current Progress (the caller pairs
+// it with machine.Snapshot to form a complete checkpoint). When from is
+// non-nil the run resumes an interrupted one: the machine must already hold
+// the restored snapshot, completed phases are taken from from.Completed, the
+// per-source RNG draws of every already-injected phase are replayed (so
+// later phases draw exactly what the uninterrupted run would have), and
+// execution re-enters at the interrupted phase's delivery wait. Recording
+// does not compose with resumption.
+func RunResumable(m *machine.Machine, spec Spec, maxPhaseCycles uint64, from *Progress, every uint64, sink func(prog Progress)) (Result, error) {
+	return runInner(m, spec, nil, maxPhaseCycles, from, every, sink)
+}
+
+func runInner(m *machine.Machine, spec Spec, rec *trace.Recorder, maxPhaseCycles uint64, from *Progress, every uint64, sink func(prog Progress)) (Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
+	}
+	if from != nil && rec != nil {
+		return Result{}, fmt.Errorf("workload: cannot record a resumed run")
 	}
 	tm := m.Topo
 	if tm.NumNodes() < 2 {
@@ -293,6 +329,16 @@ func Run(m *machine.Machine, spec Spec, rec *trace.Recorder, maxPhaseCycles uint
 	}
 
 	var res Result
+	var cur Progress
+	track := every > 0 && sink != nil
+	if track {
+		m.Engine.SetCheckpoint(every, func(uint64) { sink(cur) })
+		defer m.Engine.SetCheckpoint(0, nil)
+	}
+	resuming := from != nil
+	if resuming {
+		res.Phases = append(res.Phases, from.Completed...)
+	}
 	for ts := 0; ts < spec.Timesteps; ts++ {
 		haloInject := func() (uint64, uint64, error) {
 			var count uint64
@@ -362,24 +408,108 @@ func Run(m *machine.Machine, spec Spec, rec *trace.Recorder, maxPhaseCycles uint
 			return count, count, nil
 		}
 
+		// replay closures draw exactly what the inject closures draw, in
+		// the same order, without touching the machine: resumed runs use
+		// them to fast-forward the RNG streams (and the stateful halo
+		// burst generator) past already-injected phases. The multicast
+		// phase draws nothing.
+		haloReplay := func() {
+			for n := 0; n < tm.NumNodes(); n++ {
+				for ci, epid := range cores {
+					src := topo.NodeEp{Node: n, Ep: epid}
+					rng := rngs[n][ci]
+					for k := 0; k < spec.HaloPackets; k++ {
+						halo.Dest(tm, src, rng)
+						route.RandomChoices(rng)
+					}
+				}
+			}
+		}
+		reduceReplay := func() {
+			for n := 1; n < tm.NumNodes(); n++ {
+				for ci := range cores {
+					rng := rngs[n][ci]
+					for k := 0; k < spec.ReducePackets; k++ {
+						route.RandomChoices(rng)
+					}
+				}
+			}
+		}
+
 		phases := []struct {
 			idx    int
 			inject func() (uint64, uint64, error)
+			replay func()
 		}{
-			{PhaseHalo, haloInject},
-			{PhaseMulticast, mcastInject},
-			{PhaseReduce, reduceInject},
+			{PhaseHalo, haloInject, haloReplay},
+			{PhaseMulticast, mcastInject, nil},
+			{PhaseReduce, reduceInject, reduceReplay},
 		}
 		for _, ph := range phases {
 			if ph.idx == PhaseMulticast && !hasMcast {
 				continue
 			}
-			pr, err := runPhase(m, ts, ph.idx, maxPhaseCycles, ph.inject)
+			if resuming {
+				key, fromKey := ts*numPhases+ph.idx, from.Timestep*numPhases+from.Phase
+				if key < fromKey {
+					// Completed before the checkpoint: the machine state
+					// already reflects it; only the draws need replaying.
+					if ph.replay != nil {
+						ph.replay()
+					}
+					continue
+				}
+				if key > fromKey {
+					return Result{}, fmt.Errorf("workload: checkpoint position (timestep %d, %s) was skipped", from.Timestep, PhaseName(from.Phase))
+				}
+				// The interrupted phase: fully injected at checkpoint time,
+				// so replay its draws and re-enter the delivery wait.
+				if ph.replay != nil {
+					ph.replay()
+				}
+				resuming = false
+				if track {
+					cur = Progress{
+						Timestep: ts, Phase: ph.idx,
+						Completed:  append([]PhaseResult(nil), res.Phases...),
+						Before:     from.Before,
+						Injected:   from.Injected,
+						Expected:   from.Expected,
+						PhaseStart: from.PhaseStart,
+					}
+				}
+				pr, err := finishPhase(m, ts, ph.idx, maxPhaseCycles, from.Before, from.Injected, from.Expected, from.PhaseStart)
+				if err != nil {
+					return Result{}, err
+				}
+				res.Phases = append(res.Phases, pr)
+				continue
+			}
+			start := m.Engine.Now()
+			before := m.Delivered()
+			injected, expected, err := ph.inject()
+			if err != nil {
+				return Result{}, err
+			}
+			if track {
+				cur = Progress{
+					Timestep: ts, Phase: ph.idx,
+					Completed:  append([]PhaseResult(nil), res.Phases...),
+					Before:     before,
+					Injected:   injected,
+					Expected:   expected,
+					PhaseStart: start,
+				}
+			}
+			pr, err := finishPhase(m, ts, ph.idx, maxPhaseCycles, before, injected, expected, start)
 			if err != nil {
 				return Result{}, err
 			}
 			res.Phases = append(res.Phases, pr)
 		}
+	}
+	if resuming {
+		return Result{}, fmt.Errorf("workload: checkpoint position (timestep %d, %s) beyond the spec's phases", from.Timestep, PhaseName(from.Phase))
 	}
 	res.finish()
 	return res, nil
